@@ -1,0 +1,53 @@
+"""ABL-A — ablation: path-loss exponent alpha in w(d) = d^alpha.
+
+The paper fixes alpha = 2 for energy accounting but notes the model
+generalises.  Higher alpha punishes long transmissions harder, so the
+energy gap between GHS (whose probes travel ~r2) and EOPT (mostly ~r1
+traffic) *widens* with alpha.  This bench sweeps alpha in {1, 2, 3, 4}.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.sim.power import PathLossModel
+
+from conftest import write_artifact
+
+N = 800
+ALPHAS = (1.0, 2.0, 3.0, 4.0)
+
+
+def test_ablation_alpha_report(benchmark):
+    pts = uniform_points(N, seed=0)
+
+    def run_grid():
+        out = []
+        for alpha in ALPHAS:
+            power = PathLossModel(a=1.0, alpha=alpha)
+            out.append((alpha, run_ghs(pts, power=power), run_eopt(pts, power=power)))
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        (
+            f"{alpha:.0f}",
+            f"{ghs.energy:.3g}",
+            f"{eopt.energy:.3g}",
+            f"{ghs.energy / eopt.energy:.1f}x",
+        )
+        for alpha, ghs, eopt in results
+    ]
+    text = format_table(["alpha", "GHS energy", "EOPT energy", "gap"], rows)
+    write_artifact("ABL-A", text)
+
+    # The tree is the same regardless of alpha (MST invariance, Sec. II)...
+    edges0 = {tuple(e) for e in results[0][2].tree_edges}
+    for _, _, eopt in results[1:]:
+        assert {tuple(e) for e in eopt.tree_edges} == edges0
+    # ...but the energy gap widens with alpha.
+    gaps = [ghs.energy / eopt.energy for _, ghs, eopt in results]
+    assert gaps[-1] > gaps[0]
+    benchmark.extra_info["gaps"] = gaps

@@ -1,0 +1,70 @@
+"""ABL-G — ablation: original GHS vs modified GHS (Sec. V-A's change).
+
+The modification replaces per-edge TEST/ACCEPT/REJECT probing (2 unicasts
+per probe, Theta(|E|) probes over a run) with per-phase ANNOUNCE
+broadcasts (<= 1 per node per phase) plus free local MOE lookups.  This
+bench quantifies the message and energy savings and attributes them to
+message kinds.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.mst.quality import same_tree
+
+from conftest import write_artifact
+
+NS = (250, 500, 1000, 2000)
+
+
+def test_ablation_mghs_report(benchmark):
+    def run_grid():
+        out = []
+        for n in NS:
+            pts = uniform_points(n, seed=0)
+            out.append((n, run_ghs(pts), run_modified_ghs(pts)))
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for n, orig, mod in results:
+        assert same_tree(orig.tree_edges, mod.tree_edges)
+        probes = (
+            orig.stats.messages_by_kind.get("TEST", 0)
+            + orig.stats.messages_by_kind.get("ACCEPT", 0)
+            + orig.stats.messages_by_kind.get("REJECT", 0)
+        )
+        rows.append(
+            (
+                n,
+                orig.messages,
+                mod.messages,
+                probes,
+                mod.stats.messages_by_kind.get("ANNOUNCE", 0),
+                f"{orig.energy:.1f}",
+                f"{mod.energy:.1f}",
+                f"{orig.energy / mod.energy:.1f}x",
+            )
+        )
+    text = format_table(
+        ["n", "GHS msgs", "MGHS msgs", "GHS probes", "MGHS announces",
+         "GHS E", "MGHS E", "saving"],
+        rows,
+    )
+    write_artifact("ABL-G", text)
+
+    for n, orig, mod in results:
+        assert mod.energy < orig.energy
+        assert mod.messages < orig.messages
+    # The saving factor grows with n (probes scale with |E| ~ n log n).
+    savings = [orig.energy / mod.energy for _, orig, mod in results]
+    assert savings[-1] > savings[0]
+    benchmark.extra_info["savings"] = savings
+
+
+def test_time_mghs_n2000(benchmark):
+    """Wall-clock of one modified-GHS run at n=2000."""
+    pts = uniform_points(2000, seed=0)
+    benchmark.pedantic(run_modified_ghs, args=(pts,), rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""ABL-K — ablation: diagonal vs lexicographic NNT ranking (Sec. VI).
+
+The paper replaced Khan et al.'s (x, y)-lexicographic ranking with the
+diagonal ranking precisely because a few lexicographic nodes must reach
+Theta(1) away for a higher-ranked node, which breaks the unit-disk-radius
+regime.  The diagonal ranking keeps every connect edge within
+O(sqrt(log n / n)) whp (Lemma 6.3).  This bench measures max/total edge
+statistics for both rankings across n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.geometry.ranks import diagonal_ranks, lexicographic_ranks
+from repro.mst.nnt import nearest_neighbor_tree
+from repro.mst.quality import tree_cost
+
+from conftest import write_artifact
+
+NS = (500, 1000, 2000, 4000)
+
+
+def test_ablation_ranking_report(benchmark):
+    def run_grid():
+        out = []
+        for n in NS:
+            pts = uniform_points(n, seed=0)
+            rows = {}
+            for name, ranker in (
+                ("diagonal", diagonal_ranks),
+                ("lexicographic", lexicographic_ranks),
+            ):
+                edges, lengths = nearest_neighbor_tree(pts, ranker(pts))
+                rows[name] = (
+                    float(lengths.max()),
+                    tree_cost(pts, edges, 1.0),
+                    tree_cost(pts, edges, 2.0),
+                )
+            out.append((n, rows))
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = []
+    for n, rows in results:
+        d_max, d_len, d_sq = rows["diagonal"]
+        l_max, l_len, l_sq = rows["lexicographic"]
+        unit_r = float(np.sqrt(np.log(n) / n))
+        table.append(
+            (
+                n,
+                f"{d_max / unit_r:.2f}",
+                f"{l_max / unit_r:.2f}",
+                f"{d_len:.1f}",
+                f"{l_len:.1f}",
+                f"{d_sq:.2f}",
+                f"{l_sq:.2f}",
+            )
+        )
+    text = format_table(
+        [
+            "n",
+            "diag max/r2", "lex max/r2",
+            "diag len", "lex len",
+            "diag sum d^2", "lex sum d^2",
+        ],
+        table,
+    )
+    write_artifact("ABL-K", text)
+
+    for n, rows in results:
+        unit_r = float(np.sqrt(np.log(n) / n))
+        # Diagonal ranking: all edges a small multiple of the unit-disk radius.
+        assert rows["diagonal"][0] <= 3.0 * unit_r
+        # Lexicographic ranking: strictly worse max edge on every instance.
+        assert rows["lexicographic"][0] > rows["diagonal"][0]
+    benchmark.extra_info["ns"] = list(NS)

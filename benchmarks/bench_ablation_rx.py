@@ -1,0 +1,61 @@
+"""ABL-RX — extension: reception-energy accounting (paper Sec. VIII).
+
+The paper's metric counts only transmit energy and flags receive/idle
+costs as future work.  With a constant per-reception cost, message *count*
+starts to matter as much as message *length*: GHS's Theta(|E|) probes hurt
+it twice.  This bench sweeps the rx cost and reports how the GHS-vs-EOPT
+gap moves (EOPT stays ahead at every rx level).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+
+from conftest import write_artifact
+
+N = 800
+RX_COSTS = (0.0, 1e-5, 1e-4, 1e-3)
+
+
+def test_ablation_rx_report(benchmark):
+    pts = uniform_points(N, seed=0)
+
+    def run_grid():
+        return [
+            (rx, run_ghs(pts, rx_cost=rx), run_eopt(pts, rx_cost=rx))
+            for rx in RX_COSTS
+        ]
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for rx, ghs, eopt in results:
+        g_tot = ghs.stats.total_energy_with_rx
+        e_tot = eopt.stats.total_energy_with_rx
+        rows.append(
+            (
+                f"{rx:g}",
+                ghs.stats.receptions_total,
+                eopt.stats.receptions_total,
+                f"{g_tot:.1f}",
+                f"{e_tot:.1f}",
+                f"{g_tot / e_tot:.1f}x",
+            )
+        )
+    text = format_table(
+        ["rx cost", "GHS receptions", "EOPT receptions",
+         "GHS total E", "EOPT total E", "gap"],
+        rows,
+    )
+    write_artifact("ABL-RX", text)
+
+    for rx, ghs, eopt in results:
+        assert ghs.stats.total_energy_with_rx > eopt.stats.total_energy_with_rx
+    # GHS hears far more traffic, so rising rx cost cannot shrink its bill
+    # relative to rx=0 faster than EOPT's.
+    base = results[0]
+    heavy = results[-1]
+    assert heavy[1].stats.total_energy_with_rx > base[1].stats.total_energy_with_rx
+    benchmark.extra_info["rx_costs"] = list(RX_COSTS)

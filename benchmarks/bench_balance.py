@@ -1,0 +1,62 @@
+"""BAL — per-node energy balance: who drains their battery first?
+
+Total energy (the paper's metric) hides hotspots: a sensor network dies
+when its *busiest* node does.  This bench reports, per algorithm, the
+peak and mean per-node energy and the peak/mean imbalance ratio — a view
+the ``energy_by_node`` ledger makes free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.algorithms.randnnt import run_randnnt
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+
+from conftest import write_artifact
+
+N = 1000
+
+
+def test_balance_report(benchmark):
+    pts = uniform_points(N, seed=0)
+
+    def run_all():
+        return [run_ghs(pts), run_eopt(pts), run_randnnt(pts), run_connt(pts)]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for res in results:
+        per_node = res.stats.energy_by_node
+        mean = float(per_node.mean())
+        peak = float(per_node.max())
+        rows.append(
+            (
+                res.name,
+                f"{mean * 1000:.3f}",
+                f"{peak * 1000:.3f}",
+                f"{peak / mean:.1f}x",
+                f"{np.count_nonzero(per_node == 0)}",
+            )
+        )
+    text = format_table(
+        ["algorithm", "mean/node (mE)", "peak/node (mE)", "imbalance",
+         "idle nodes"],
+        rows,
+    )
+    write_artifact("BAL", text)
+
+    by_name = {r.name: r for r in results}
+    # EOPT's peak node spends less than GHS's peak node: the optimality is
+    # not bought by overloading a hotspot.
+    assert by_name["EOPT"].stats.max_node_energy < by_name["GHS"].stats.max_node_energy
+    # Co-NNT is the most balanced of all (every node does O(1) work).
+    connt = by_name["Co-NNT"].stats
+    assert connt.max_node_energy < 20 * connt.energy_total / N
+    benchmark.extra_info["peaks"] = {
+        r.name: r.stats.max_node_energy for r in results
+    }

@@ -1,0 +1,68 @@
+"""EXT-C — extension: RBN contention resolution (paper Sec. VIII).
+
+The paper claims its algorithms survive the Radio Broadcast Network
+interference model "with an increase in the running time ... and in the
+energy usage by a constant factor".  The :class:`ContentionKernel`
+serialises each round's conflicting transmissions into interference-free
+slots; this bench verifies on a live EOPT run that
+
+* the tree and the (TX) energy are *identical* to the collision-free run,
+* only the round count inflates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import collect_tree_edges
+from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
+from repro.algorithms.ghs.node import GHSNode
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import connectivity_radius
+from repro.mst.quality import same_tree
+from repro.sim.interference import ContentionKernel
+from repro.sim.kernel import SynchronousKernel
+
+from conftest import write_artifact
+
+N = 200
+
+
+def run_mghs(kernel_cls):
+    pts = uniform_points(N, seed=0)
+    r = connectivity_radius(N)
+    k = kernel_cls(pts, max_radius=r)
+    k.add_nodes(lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True))
+    k.start()
+    hello_round(k, r)
+    run_ghs_phases(k, k.nodes)
+    edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in k.nodes)
+    return edges, k
+
+
+def test_contention_report(benchmark):
+    def run_both():
+        base_edges, base_k = run_mghs(SynchronousKernel)
+        cont_edges, cont_k = run_mghs(ContentionKernel)
+        return base_edges, base_k, cont_edges, cont_k
+
+    base_edges, base_k, cont_edges, cont_k = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    base, cont = base_k.stats(), cont_k.stats()
+    rows = [
+        ("tree edges", len(base_edges), len(cont_edges)),
+        ("energy", f"{base.energy_total:.2f}", f"{cont.energy_total:.2f}"),
+        ("messages", base.messages_total, cont.messages_total),
+        ("rounds", base.rounds, cont.rounds),
+        ("slots / worst round", "-", f"{cont_k.max_slot_factor}"),
+    ]
+    text = format_table(["metric", "collision-free", "RBN contention"], rows)
+    write_artifact("EXT-C", text)
+
+    assert same_tree(base_edges, cont_edges)
+    assert cont.energy_total == pytest.approx(base.energy_total)
+    assert cont.messages_total == base.messages_total
+    assert cont.rounds >= base.rounds
+    benchmark.extra_info["round_inflation"] = cont.rounds / max(base.rounds, 1)

@@ -1,0 +1,33 @@
+"""FIG1 — Fig. 1: the giant component and the small regions.
+
+Regenerates the percolation picture: the unique giant cluster of good
+cells (Fig. 1(a)) whose complement splits into small regions (Fig. 1(b)).
+Asserts the structural facts the figure illustrates: one dominant good
+cluster, giant node-component, small leftovers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig1_percolation
+
+from conftest import write_artifact
+
+
+def test_fig1_report(benchmark):
+    result = benchmark.pedantic(
+        fig1_percolation, kwargs={"n": 4000, "seed": 0}, rounds=1, iterations=1
+    )
+    header = (
+        f"n={result.n}  r={result.radius:.4f}  "
+        f"giant component: {result.giant_fraction:.1%} of nodes\n"
+        f"largest cell-view small region: {result.max_small_region_nodes} nodes\n"
+        f"('#' = largest cluster of good cells, '.' = complement)\n"
+    )
+    write_artifact("FIG1", header + result.good_cluster_picture)
+    benchmark.extra_info["giant_fraction"] = result.giant_fraction
+
+    assert result.giant_fraction > 0.9
+    assert "#" in result.good_cluster_picture
+    # The giant good-cell cluster dominates: far more '#' than isolated '.'
+    pic = result.good_cluster_picture
+    assert pic.count("#") > 0.5 * (pic.count("#") + pic.count("."))

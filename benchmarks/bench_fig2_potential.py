@@ -1,0 +1,54 @@
+"""FIG2 — Fig. 2 and Lemmas 6.1-6.3: potential-region geometry.
+
+The paper's Sec. VI analysis rests on three measurable facts:
+
+* Lemma 6.1 — every node's potential angle alpha_u >= 1/2 radian;
+* Lemma 6.2 / Thm 6.1 — E[d_u^2] <= 2/(n alpha_u), so the NNT's expected
+  squared-edge sum is at most 4;
+* Lemma 6.3 — all d_u <= c sqrt(log n / n) whp, so the protocol works in
+  the unit-disk regime.
+
+We measure all three on a sweep of instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig2_potential
+from repro.experiments.report import format_table
+
+from conftest import write_artifact
+
+
+def test_fig2_report(benchmark):
+    def run():
+        return [fig2_potential(n=n, seed=0) for n in (500, 1000, 2000, 4000)]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            r.n,
+            f"{r.min_potential_angle:.3f}",
+            f"{r.n * r.mean_sq_connect_distance:.2f}",
+            f"{r.n * r.expected_sq_bound:.2f}",
+            f"{r.lemma63_constant:.2f}",
+        )
+        for r in results
+    ]
+    text = format_table(
+        [
+            "n",
+            "min alpha (>=0.5)",
+            "n*E[d^2] (<=4)",
+            "n*bound (Lemma 6.2)",
+            "c in Lemma 6.3",
+        ],
+        rows,
+    )
+    write_artifact("FIG2", text)
+
+    for r in results:
+        assert r.min_potential_angle >= 0.5
+        assert r.n * r.mean_sq_connect_distance <= 4.0
+        assert r.mean_sq_connect_distance <= r.expected_sq_bound
+        assert r.lemma63_constant < 3.0
+    benchmark.extra_info["min_alpha"] = min(r.min_potential_angle for r in results)

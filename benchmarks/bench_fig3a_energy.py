@@ -1,0 +1,66 @@
+"""FIG3a — Fig. 3(a): energy consumed by GHS, EOPT and Co-NNT vs n.
+
+Regenerates the paper's main experimental figure.  Expected shape
+(Sec. VII): GHS grows fastest (log^2 n), EOPT clearly slower (log n),
+Co-NNT flat (O(1)); at the top of the sweep GHS pays hundreds of energy
+units while EOPT pays tens and Co-NNT single digits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig3a_plot, fig3a_rows
+from repro.experiments.runner import run_algorithm
+from repro.geometry.points import uniform_points
+
+from conftest import write_artifact
+
+
+BENCH_N = 1000
+
+
+def _bench_points():
+    return uniform_points(BENCH_N, seed=0)
+
+
+def test_time_ghs(benchmark):
+    """Wall-clock of one full GHS simulation at n=1000."""
+    pts = _bench_points()
+    res = benchmark.pedantic(run_algorithm, args=("GHS", pts), rounds=1, iterations=1)
+    benchmark.extra_info["energy"] = res.energy
+    benchmark.extra_info["messages"] = res.messages
+
+
+def test_time_eopt(benchmark):
+    """Wall-clock of one full EOPT simulation at n=1000."""
+    pts = _bench_points()
+    res = benchmark.pedantic(run_algorithm, args=("EOPT", pts), rounds=1, iterations=1)
+    benchmark.extra_info["energy"] = res.energy
+    benchmark.extra_info["messages"] = res.messages
+
+
+def test_time_connt(benchmark):
+    """Wall-clock of one full Co-NNT simulation at n=1000."""
+    pts = _bench_points()
+    res = benchmark.pedantic(
+        run_algorithm, args=("Co-NNT", pts), rounds=1, iterations=1
+    )
+    benchmark.extra_info["energy"] = res.energy
+    benchmark.extra_info["messages"] = res.messages
+
+
+def test_fig3a_report(benchmark, fig3_sweep):
+    """Regenerate the Fig. 3(a) table + ASCII plot from the session sweep."""
+    from repro.experiments.report import format_table
+
+    def build():
+        headers = ["n"] + [f"E[{a}]" for a in fig3_sweep.config.algorithms]
+        table = format_table(headers, fig3a_rows(fig3_sweep))
+        return table + "\n\n" + fig3a_plot(fig3_sweep)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_artifact("FIG3a", text)
+    for alg in fig3_sweep.config.algorithms:
+        benchmark.extra_info[alg] = list(map(float, fig3_sweep.mean_energy(alg)))
+    # The paper's ordering must hold pointwise across the sweep.
+    g, e, c = (fig3_sweep.mean_energy(a) for a in ("GHS", "EOPT", "Co-NNT"))
+    assert (g > e).all() and (e > c).all()

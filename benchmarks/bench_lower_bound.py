@@ -1,0 +1,53 @@
+"""LB — the lower-bound constants of Secs. III-IV.
+
+Three curves:
+
+* ``L_MST(V)`` (Omega(1) bound): sum d^2 over the exact MST — stable
+  around ~0.5 across n;
+* Lemma 4.1: the energy to reach your log(n)-th nearest neighbour is at
+  least k/(b n) — we exhibit the empirical b;
+* the Omega(log n) curve of Thm 4.1, to compare against the measured
+  EOPT energies (EOPT must sit above it: it is a *lower* bound).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import lower_bound_table
+
+from conftest import write_artifact
+
+
+def test_lower_bound_report(benchmark, fig3_sweep):
+    rows = benchmark.pedantic(
+        lower_bound_table,
+        kwargs={"ns": (500, 1000, 2000, 4000), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["n", "L_MST (Omega(1))", "k", "min kNN energy", "Lemma4.1 b", "log n / pi"],
+        [
+            (
+                r.n,
+                f"{r.l_mst:.3f}",
+                r.knn_k,
+                f"{r.knn_min_energy:.2e}",
+                f"{r.lemma41_b:.1f}",
+                f"{r.omega_log_curve:.2f}",
+            )
+            for r in rows
+        ],
+    )
+    write_artifact("LB", text)
+
+    # L_MST is Theta(1): bounded, non-vanishing.
+    for r in rows:
+        assert 0.2 < r.l_mst < 1.5
+        assert r.lemma41_b > 0.5
+    # Every measured EOPT energy respects the Omega(log n) lower bound.
+    by_n = {r.n: r for r in rows}
+    for i, n in enumerate(fig3_sweep.ns):
+        if int(n) in by_n:
+            assert fig3_sweep.mean_energy("EOPT")[i] > by_n[int(n)].omega_log_curve
+    benchmark.extra_info["l_mst"] = [r.l_mst for r in rows]

@@ -1,0 +1,80 @@
+"""MAINT — incremental repair vs full rebuild under node churn.
+
+The paper's intro motivates energy-awareness with dynamics ("topology ...
+can change frequently due to mobility or node failures").  This bench
+kills an increasing fraction of a built MST's nodes and compares the
+energy of repairing the surviving forest against rebuilding from
+scratch, plus the quality of the repaired tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_modified_ghs
+from repro.applications.maintenance import repair_after_failures
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import tree_cost
+from repro.rgg.build import build_rgg
+
+from conftest import write_artifact
+
+N = 1000
+FAIL_FRACTIONS = (0.01, 0.05, 0.10, 0.25)
+
+
+def test_maintenance_report(benchmark):
+    pts = uniform_points(N, seed=0)
+    base = run_eopt(pts)
+
+    def run_grid():
+        rng = np.random.default_rng(1)
+        out = []
+        for frac in FAIL_FRACTIONS:
+            failed = rng.choice(N, size=int(frac * N), replace=False)
+            rep = repair_after_failures(pts, base.tree_edges, failed)
+            rebuild = run_modified_ghs(pts[rep.extras["survivors"]])
+            out.append((frac, rep, rebuild))
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for frac, rep, rebuild in results:
+        sub_pts = pts[rep.extras["survivors"]]
+        g = build_rgg(sub_pts, rep.extras["radius"])
+        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        quality = tree_cost(sub_pts, rep.tree_edges) / tree_cost(sub_pts, opt)
+        repair_ghs = rep.stats.energy_by_stage["repair:ghs"]
+        rebuild_ghs = rebuild.stats.energy_by_stage["phases"]
+        rows.append(
+            (
+                f"{frac:.0%}",
+                rep.extras["initial_fragments"],
+                rep.phases,
+                f"{repair_ghs:.2f}",
+                f"{rebuild_ghs:.2f}",
+                f"{rebuild_ghs / max(repair_ghs, 1e-12):.1f}x",
+                f"{quality:.4f}",
+            )
+        )
+    text = format_table(
+        ["failed", "fragments", "phases", "repair E", "rebuild E",
+         "saving", "quality vs opt"],
+        rows,
+    )
+    write_artifact("MAINT", text)
+
+    for frac, rep, rebuild in results:
+        repair_ghs = rep.stats.energy_by_stage["repair:ghs"]
+        rebuild_ghs = rebuild.stats.energy_by_stage["phases"]
+        assert repair_ghs < rebuild_ghs
+        sub_pts = pts[rep.extras["survivors"]]
+        g = build_rgg(sub_pts, rep.extras["radius"])
+        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert (
+            tree_cost(sub_pts, rep.tree_edges)
+            <= 1.05 * tree_cost(sub_pts, opt)
+        )

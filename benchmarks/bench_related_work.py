@@ -1,0 +1,86 @@
+"""RW — the paper's Related-Work landscape as one measured table.
+
+Sec. III positions four schemes (for RGGs, without/with coordinates):
+
+| scheme | energy | tree |
+|---|---|---|
+| GHS [9]             | Θ(log² n)   | exact MST |
+| Rand-NNT [14, 15]   | O(log n)    | O(log n)-approx |
+| **EOPT (this paper)** | O(log n)  | **exact MST** |
+| Co-NNT (this paper, coords) | O(1) | O(1)-approx |
+
+This bench measures all four on shared instances and asserts each cell:
+the energy ordering, the exactness claims, and the quality ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.algorithms.randnnt import run_randnnt
+from repro.experiments.report import format_table
+from repro.geometry.points import uniform_points
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.quality import same_tree, tree_cost
+
+from conftest import write_artifact
+
+N = 1500
+
+
+def test_related_work_report(benchmark):
+    pts = uniform_points(N, seed=0)
+
+    def run_all():
+        return {
+            "GHS [9]": run_ghs(pts),
+            "Rand-NNT [15]": run_randnnt(pts),
+            "EOPT (paper)": run_eopt(pts),
+            "Co-NNT (paper)": run_connt(pts),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mst, _ = euclidean_mst(pts)
+    opt_len = tree_cost(pts, mst)
+
+    rows = []
+    ratios = {}
+    for name, res in results.items():
+        ratio = tree_cost(pts, res.tree_edges) / opt_len
+        ratios[name] = ratio
+        rows.append(
+            (
+                name,
+                f"{res.energy:.1f}",
+                res.messages,
+                "exact" if same_tree(res.tree_edges, mst) else f"{ratio:.3f}x",
+                "no" if name != "Co-NNT (paper)" else "yes",
+            )
+        )
+    text = format_table(
+        ["scheme", "energy", "messages", "tree vs MST", "needs coords"], rows
+    )
+    write_artifact("RW", text)
+
+    ghs, rand, eopt, co = (
+        results["GHS [9]"],
+        results["Rand-NNT [15]"],
+        results["EOPT (paper)"],
+        results["Co-NNT (paper)"],
+    )
+    # Energy landscape: GHS >> {Rand-NNT, EOPT} >> Co-NNT.
+    assert ghs.energy > 3 * eopt.energy
+    assert ghs.energy > 3 * rand.energy
+    assert eopt.energy > co.energy
+    assert rand.energy > co.energy
+    # Exactness: GHS and EOPT exact; the NNTs are not.
+    assert same_tree(ghs.tree_edges, mst)
+    assert same_tree(eopt.tree_edges, mst)
+    assert not same_tree(rand.tree_edges, mst)
+    assert not same_tree(co.tree_edges, mst)
+    # Quality: Co-NNT strictly better than Rand-NNT.
+    assert ratios["Co-NNT (paper)"] < ratios["Rand-NNT [15]"]
+    benchmark.extra_info["ratios"] = {k: float(v) for k, v in ratios.items()}

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the substrates the simulations stand on.
+
+These are classic pytest-benchmark timings (many rounds, statistics) for
+the hot building blocks: RGG construction, exact EMST, kernel message
+throughput, percolation labeling, NNT queries.  They guard against
+performance regressions that would make the paper-scale sweeps (n = 5000)
+impractical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import uniform_points
+from repro.geometry.potential import nearest_higher_rank_distance
+from repro.geometry.radius import connectivity_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.percolation.giant import analyze_percolation
+from repro.rgg.build import build_rgg
+
+N = 3000
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph(points):
+    return build_rgg(points, connectivity_radius(N))
+
+
+def test_build_rgg(benchmark, points):
+    g = benchmark(build_rgg, points, connectivity_radius(N))
+    assert g.m > N
+
+
+def test_euclidean_mst(benchmark, points):
+    edges, _ = benchmark(euclidean_mst, points)
+    assert len(edges) == N - 1
+
+
+def test_kruskal_on_rgg(benchmark, graph):
+    edges, _ = benchmark(kruskal_mst, graph.n, graph.edges, graph.lengths)
+    assert len(edges) == N - 1
+
+
+def test_prim_on_rgg(benchmark, graph):
+    edges, _ = benchmark(prim_mst, graph)
+    assert len(edges) == N - 1
+
+
+def test_percolation_analysis(benchmark, points):
+    rep = benchmark(analyze_percolation, points, 1.4 / np.sqrt(N))
+    assert rep.n == N
+
+
+def test_nearest_higher_rank(benchmark, points):
+    d = benchmark(nearest_higher_rank_distance, points)
+    assert np.isinf(d).sum() == 1
+
+
+def test_kernel_broadcast_throughput(benchmark, points):
+    """Messages/second through the kernel: one HELLO flood at r2."""
+    from repro.sim.kernel import SynchronousKernel
+    from repro.sim.node import NodeProcess
+
+    class Silent(NodeProcess):
+        def on_wake(self, signal, payload=()):
+            self.ctx.local_broadcast(payload[0], "HELLO", self.id)
+
+    r = connectivity_radius(N)
+
+    def flood():
+        k = SynchronousKernel(points, max_radius=r)
+        k.add_nodes(Silent)
+        k.start()
+        k.wake(range(N), "go", (r,))
+        k.run_until_quiescent()
+        return k.stats()
+
+    stats = benchmark(flood)
+    assert stats.messages_total == N

@@ -1,0 +1,53 @@
+"""THM52 — Theorem 5.2 empirics: giant component + O(log^2 n) leftovers.
+
+At r1 = 1.4 sqrt(1/n) (the paper's step-1 radius) we measure, across n:
+the giant fraction (Theta(n) nodes), the largest non-giant component, and
+the implied beta in 'beta log^2 n'.  Thm 5.2 predicts the giant fraction
+stays bounded away from 0 and beta stays bounded as n grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import thm52_giant
+
+from conftest import write_artifact
+
+
+def test_thm52_report(benchmark):
+    rows = benchmark.pedantic(
+        thm52_giant,
+        kwargs={"ns": (500, 1000, 2000, 4000), "c1": 1.4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["n", "r1", "giant frac", "2nd component", "beta = 2nd/log^2 n"],
+        [
+            (
+                r.n,
+                f"{r.radius:.4f}",
+                f"{r.giant_fraction:.1%}",
+                r.second_component,
+                f"{r.beta_estimate:.2f}",
+            )
+            for r in rows
+        ],
+    )
+    write_artifact("THM52", text)
+
+    for r in rows:
+        assert r.giant_fraction > 0.5
+        assert r.beta_estimate < 5.0
+    benchmark.extra_info["max_beta"] = max(r.beta_estimate for r in rows)
+
+
+def test_time_percolation_analysis(benchmark):
+    """Wall-clock of one full percolation analysis at n=4000."""
+    from repro.geometry.points import uniform_points
+    from repro.geometry.radius import giant_radius
+    from repro.percolation.giant import analyze_percolation
+
+    pts = uniform_points(4000, seed=0)
+    r = giant_radius(4000)
+    benchmark(analyze_percolation, pts, r)

@@ -1,0 +1,48 @@
+"""TIME — round (time-step) complexity of the algorithms.
+
+The paper's focus is energy, but it carefully notes time complexity too
+(GHS-style algorithms are not time-optimal; Sec. VIII discusses the time
+cost of contention).  This bench measures synchronous rounds across n
+and fits the growth: Co-NNT finishes in O(log n) rounds (its probe
+phases), the GHS family in O(n)-ish rounds (fragment trees deepen), with
+EOPT paying extra rounds for its two steps but far fewer messages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.theory.scaling import fit_power_law
+
+from conftest import write_artifact
+
+
+def test_time_report(benchmark, fig3_sweep):
+    def build():
+        rows = []
+        for i, n in enumerate(fig3_sweep.ns):
+            rows.append(
+                (int(n),)
+                + tuple(
+                    int(fig3_sweep.rounds[a][i].mean())
+                    for a in fig3_sweep.config.algorithms
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["n"] + [f"rounds[{a}]" for a in fig3_sweep.config.algorithms]
+    text = format_table(headers, rows)
+    write_artifact("TIME", text)
+
+    ns = fig3_sweep.ns
+    mask = ns >= 100
+    connt_rounds = fig3_sweep.rounds["Co-NNT"].mean(axis=1)
+    ghs_rounds = fig3_sweep.rounds["GHS"].mean(axis=1)
+    # Co-NNT: essentially flat round count (log-ish; exponent near 0).
+    fit_connt = fit_power_law(ns[mask], connt_rounds[mask])
+    assert fit_connt.slope < 0.35
+    # GHS: rounds grow polynomially with n (fragment-tree depths).
+    fit_ghs = fit_power_law(ns[mask], ghs_rounds[mask])
+    assert fit_ghs.slope > 0.3
+    benchmark.extra_info["slope_connt"] = fit_connt.slope
+    benchmark.extra_info["slope_ghs"] = fit_ghs.slope

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper artifact (FIG1/FIG2/FIG3a/FIG3b/TAB1/THM52/LB + ablations) has
+one bench file.  Benches both *time* the relevant computation (via
+pytest-benchmark) and *regenerate the artifact*: the rows/series are
+printed, attached to the benchmark JSON as ``extra_info``, and written to
+``benchmarks/out/<ID>.txt`` so a bench run leaves the paper-vs-measured
+record on disk.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — use the paper's full n-grid (50..5000) instead
+  of the default truncated grid; slower but exactly Sec. VII's sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import BENCH_NS, PAPER_NS, SweepConfig
+from repro.experiments.runner import sweep_energy
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_artifact(exp_id: str, text: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{exp_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{exp_id}] written to {path}\n{text}")
+    return path
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> SweepConfig:
+    ns = PAPER_NS if os.environ.get("REPRO_BENCH_FULL") == "1" else BENCH_NS
+    seeds = (0, 1) if os.environ.get("REPRO_BENCH_FULL") == "1" else (0,)
+    return SweepConfig(ns=ns, seeds=seeds)
+
+
+@pytest.fixture(scope="session")
+def fig3_sweep(sweep_config):
+    """The Fig. 3 energy sweep, computed once per bench session."""
+    return sweep_energy(sweep_config)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""MST maintenance under node failures — dynamics, the intro's motivation.
+
+Builds the MST once with EOPT, then kills rising fractions of nodes and
+compares *repairing* the surviving forest (resuming Borůvka phases from
+the fragments the failures left behind) against *rebuilding* from
+scratch.
+
+    python examples/mst_maintenance.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import run_eopt, run_modified_ghs, uniform_points
+from repro.applications.maintenance import repair_after_failures
+from repro.experiments.report import format_table
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import tree_cost
+from repro.rgg.build import build_rgg
+
+
+def main(n: int = 800, seed: int = 0) -> None:
+    points = uniform_points(n, seed=seed)
+    base = run_eopt(points)
+    print(f"Built the MST of {n} sensors with EOPT "
+          f"(energy {base.energy:.1f}).\n")
+
+    rng = np.random.default_rng(seed + 1)
+    rows = []
+    for frac in (0.02, 0.05, 0.10, 0.20):
+        failed = rng.choice(n, size=int(frac * n), replace=False)
+        rep = repair_after_failures(points, base.tree_edges, failed)
+        survivors = rep.extras["survivors"]
+        rebuild = run_modified_ghs(points[survivors])
+
+        sub_pts = points[survivors]
+        g = build_rgg(sub_pts, rep.extras["radius"])
+        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        quality = tree_cost(sub_pts, rep.tree_edges) / tree_cost(sub_pts, opt)
+
+        repair_e = rep.stats.energy_by_stage["repair:ghs"]
+        rebuild_e = rebuild.stats.energy_by_stage["phases"]
+        rows.append(
+            (
+                f"{frac:.0%}",
+                rep.extras["initial_fragments"],
+                rep.phases,
+                f"{repair_e:.2f}",
+                f"{rebuild_e:.2f}",
+                f"{rebuild_e / repair_e:.1f}x",
+                f"{quality:.4f}",
+            )
+        )
+    print(format_table(
+        ["failed", "fragments", "phases", "repair E", "rebuild E",
+         "saving", "quality"],
+        rows,
+    ))
+    print(
+        "\nRepair resumes the Borůvka merge from the fragments the failures\n"
+        "created, so its cost scales with the damage, not the network —\n"
+        "and the repaired tree stays (essentially) optimal."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, seed)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Data aggregation in a sensor network — the paper's motivating workload.
+
+A field of temperature sensors must report the average temperature to a
+sink.  We compare three energy bills:
+
+1. every sensor transmits straight to the sink (no aggregation);
+2. convergecast over the MST built by EOPT (paper: the optimal
+   aggregation tree);
+3. convergecast over the Co-NNT tree (constant-energy construction,
+   slightly worse tree).
+
+Includes the tree *construction* cost, so the trade-off the paper studies
+(construction energy vs tree quality) is visible end-to-end.
+
+    python examples/sensor_aggregation.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import run_connt, run_eopt, uniform_points
+from repro.applications.aggregation import direct_to_sink_energy, simulate_aggregation
+from repro.experiments.report import format_table
+
+
+def main(n: int = 800, seed: int = 1) -> None:
+    points = uniform_points(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    # Synthetic temperature field: smooth gradient + sensor noise.
+    temperatures = (
+        15.0 + 10.0 * points[:, 0] + 5.0 * points[:, 1] + rng.normal(0, 0.5, n)
+    )
+    sink = 0
+    truth = float(temperatures.mean())
+    print(f"{n} sensors; true mean temperature {truth:.3f} C; sink = node {sink}\n")
+
+    # Baseline: no aggregation at all.
+    direct = direct_to_sink_energy(points, sink)
+
+    rows = [("direct-to-sink", "-", f"{direct:.2f}", "-", f"{direct:.2f}")]
+    for builder in (run_eopt, run_connt):
+        res = builder(points)
+        build_energy = res.energy
+        mean, stats = simulate_aggregation(
+            points, res.tree_edges, sink, temperatures, op="avg"
+        )
+        assert abs(mean - truth) < 1e-9, "aggregation must be exact"
+        rows.append(
+            (
+                f"{res.name} tree",
+                f"{build_energy:.2f}",
+                f"{stats.energy_total:.3f}",
+                f"{stats.rounds}",
+                f"{build_energy + stats.energy_total:.2f}",
+            )
+        )
+
+    print(format_table(
+        ["strategy", "build energy", "per-round energy", "rounds", "total (1 round)"],
+        rows,
+    ))
+
+    print(
+        "\nThe per-round column is what every subsequent sensing round costs:\n"
+        "after a handful of rounds the tree pays for its own construction,\n"
+        "and the MST's per-round bill is the provable optimum (sum d^2 over\n"
+        "tree edges = L_MST, the paper's Omega(1) lower bound)."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    main(n, seed)

@@ -1,0 +1,5 @@
+"""Shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels offline (no `wheel` package available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Energy-Optimal Distributed Algorithms for
+Minimum Spanning Trees" (Choi, Khan, Anil Kumar, Pandurangan; SPAA 2008 /
+IEEE JSAC 2009).
+
+The package implements the paper's model and all three algorithms on a
+synchronous message-passing simulator with exact energy accounting:
+
+>>> from repro import uniform_points, run_eopt, euclidean_mst, same_tree
+>>> pts = uniform_points(200, seed=1)
+>>> result = run_eopt(pts)
+>>> mst_edges, _ = euclidean_mst(pts)
+>>> same_tree(result.tree_edges, mst_edges)
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.geometry import (
+    uniform_points,
+    poisson_points,
+    perturbed_grid_points,
+    clustered_points,
+    diagonal_ranks,
+    lexicographic_ranks,
+    connectivity_radius,
+    giant_radius,
+)
+from repro.rgg import build_rgg, GeometricGraph, is_connected
+from repro.mst import (
+    euclidean_mst,
+    kruskal_mst,
+    prim_mst,
+    nearest_neighbor_tree,
+    verify_spanning_tree,
+    tree_cost,
+    approximation_ratio,
+    same_tree,
+)
+from repro.percolation import analyze_percolation
+from repro.sim import PathLossModel, SynchronousKernel, NodeProcess
+from repro.algorithms import (
+    AlgorithmResult,
+    run_ghs,
+    run_modified_ghs,
+    run_eopt,
+    run_connt,
+    run_randnnt,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "uniform_points",
+    "poisson_points",
+    "perturbed_grid_points",
+    "clustered_points",
+    "diagonal_ranks",
+    "lexicographic_ranks",
+    "connectivity_radius",
+    "giant_radius",
+    "build_rgg",
+    "GeometricGraph",
+    "is_connected",
+    "euclidean_mst",
+    "kruskal_mst",
+    "prim_mst",
+    "nearest_neighbor_tree",
+    "verify_spanning_tree",
+    "tree_cost",
+    "approximation_ratio",
+    "same_tree",
+    "analyze_percolation",
+    "PathLossModel",
+    "SynchronousKernel",
+    "NodeProcess",
+    "AlgorithmResult",
+    "run_ghs",
+    "run_modified_ghs",
+    "run_eopt",
+    "run_connt",
+    "run_randnnt",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Distributed algorithms from the paper, implemented on :mod:`repro.sim`.
+
+* :func:`~repro.algorithms.ghs.run_ghs` — the classical
+  Gallager–Humblet–Spira algorithm (phase-synchronous Borůvka form, with
+  TEST/ACCEPT/REJECT edge probing).  The paper's baseline: Θ(log² n)
+  expected energy on RGGs.
+* :func:`~repro.algorithms.ghs.run_modified_ghs` — GHS with per-neighbour
+  fragment-id caches maintained by ANNOUNCE broadcasts (Sec. V-A); MOE
+  search becomes a free local lookup.
+* :func:`~repro.algorithms.eopt.run_eopt` — the paper's headline
+  energy-optimal algorithm: modified GHS at the giant-component radius,
+  size census, then modified GHS at the connectivity radius with the giant
+  fragment passive.  O(log n) expected energy.
+* :func:`~repro.algorithms.connt.run_connt` — the coordinate-based
+  nearest-neighbour-tree protocol (Sec. VI): O(1) expected energy, O(n)
+  messages, constant-factor MST approximation.
+"""
+
+from repro.algorithms.base import AlgorithmResult, collect_tree_edges
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.connt import run_connt
+from repro.algorithms.randnnt import run_randnnt
+
+__all__ = [
+    "AlgorithmResult",
+    "collect_tree_edges",
+    "run_ghs",
+    "run_modified_ghs",
+    "run_eopt",
+    "run_connt",
+    "run_randnnt",
+]

@@ -1,0 +1,86 @@
+"""Shared result type and helpers for the distributed algorithms.
+
+Every runner returns an :class:`AlgorithmResult` bundling the tree the
+protocol built with the full energy/message statistics of the run, so
+benches and tests consume one uniform object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.sim.energy import SimStats
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Outcome of one distributed-algorithm run.
+
+    Attributes
+    ----------
+    name:
+        Algorithm label (``"GHS"``, ``"MGHS"``, ``"EOPT"``, ``"Co-NNT"``).
+    n:
+        Number of nodes simulated.
+    tree_edges:
+        ``(k, 2)`` undirected edges (``u < v``) the protocol established.
+        ``k = n - #components`` of the operating graph.
+    stats:
+        Full simulation statistics (energy, messages, rounds, breakdowns).
+    phases:
+        Number of protocol phases executed (GHS-family: Borůvka phases;
+        Co-NNT: doubling-radius probe phases).
+    extras:
+        Algorithm-specific details (giant size, step split, radii used...).
+    """
+
+    name: str
+    n: int
+    tree_edges: np.ndarray
+    stats: SimStats
+    phases: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def energy(self) -> float:
+        """Total energy complexity of the run (the paper's metric)."""
+        return self.stats.energy_total
+
+    @property
+    def messages(self) -> int:
+        """Total messages transmitted."""
+        return self.stats.messages_total
+
+    @property
+    def rounds(self) -> int:
+        """Synchronous rounds consumed."""
+        return self.stats.rounds
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: n={self.n} edges={len(self.tree_edges)} "
+            f"energy={self.energy:.3f} messages={self.messages} "
+            f"rounds={self.rounds} phases={self.phases}"
+        )
+
+
+def collect_tree_edges(edge_sets: Iterable[tuple[int, Iterable[int]]]) -> np.ndarray:
+    """Union of per-node tree-edge sets into a canonical ``(k, 2)`` array.
+
+    Parameters
+    ----------
+    edge_sets:
+        Iterable of ``(node_id, neighbours_in_tree)`` pairs; each undirected
+        edge may appear from both endpoints and is deduplicated.
+    """
+    seen: set[tuple[int, int]] = set()
+    for u, nbs in edge_sets:
+        for v in nbs:
+            seen.add((u, v) if u < v else (v, u))
+    if not seen:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.array(sorted(seen), dtype=np.int64)

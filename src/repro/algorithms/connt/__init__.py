@@ -1,0 +1,6 @@
+"""Co-NNT — the coordinate-aware constant-energy NNT protocol (Sec. VI)."""
+
+from repro.algorithms.connt.node import CoNNTNode, diagonal_key
+from repro.algorithms.connt.runner import run_connt
+
+__all__ = ["CoNNTNode", "diagonal_key", "run_connt"]

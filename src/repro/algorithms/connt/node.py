@@ -1,0 +1,109 @@
+"""The Co-NNT node protocol (paper Thm 6.2).
+
+Every node ``u`` knows its own coordinates and (an estimate of) ``n``.  It
+must find its nearest node of higher *diagonal rank*
+(``(x+y, y, id)`` lexicographic — Sec. VI) inside its potential region:
+
+* in probe phase ``i = 1, 2, ...`` the still-searching node broadcasts
+  ``REQUEST(x, y)`` to radius ``r_i = sqrt(2^i / n)``;
+* every listener of higher rank unicasts ``REPLY()`` back (the requester
+  reads the distance off the delivery — physically, off the radio);
+* if any replies arrived, the node picks the nearest replier, unicasts
+  ``CONNECTION`` to it (both endpoints record the tree edge), and stops;
+* a node whose probe radius has reached its potential distance ``L_u``
+  without an answer is the highest-ranked node and terminates unconnected.
+
+Because the nearest higher-ranked node lies within ``L_u`` by definition,
+the protocol always terminates and reproduces the centralized NNT exactly
+(ties in distance are measure-zero under random coordinates).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProtocolError
+from repro.geometry.potential import potential_distance
+from repro.sim.message import Message
+from repro.sim.node import NodeProcess
+
+
+def diagonal_key(x: float, y: float, node_id: int) -> tuple[float, float, int]:
+    """The diagonal-rank comparison key: ``(x+y, y, id)`` lexicographic."""
+    return (x + y, y, node_id)
+
+
+class CoNNTNode(NodeProcess):
+    """One processor running the Co-NNT doubling-radius protocol."""
+
+    __slots__ = (
+        "x",
+        "y",
+        "key",
+        "L",
+        "done",
+        "connected_to",
+        "tree_edges",
+        "last_radius",
+        "_replies",
+        "_phase",
+    )
+
+    def on_start(self) -> None:
+        self.x, self.y = self.ctx.coords
+        self.key = diagonal_key(self.x, self.y, self.id)
+        # L_u is locally computable from own coordinates (closed form).
+        self.L = float(potential_distance([[self.x, self.y]])[0])
+        self.done = False
+        self.connected_to: int | None = None
+        self.tree_edges: set[int] = set()
+        self.last_radius = 0.0
+        self._replies: list[tuple[float, int]] = []
+        self._phase = 0
+
+    # -- driver signals -------------------------------------------------------
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        if signal == "probe":
+            if self.done:
+                return
+            (i,) = payload
+            self._phase = int(i)
+            radius = min(math.sqrt(2.0**i / max(self.ctx.n_nodes, 1)), math.sqrt(2.0))
+            self.last_radius = radius
+            self._replies = []
+            self.ctx.local_broadcast(radius, "REQUEST", self.x, self.y)
+        elif signal == "decide":
+            if self.done:
+                return
+            self._decide()
+        else:
+            raise ProtocolError(f"unknown wake signal {signal!r}")
+
+    def _decide(self) -> None:
+        if self._replies:
+            # Nearest replier; ties broken by id for determinism.
+            _, target = min(self._replies)
+            self.connected_to = target
+            self.tree_edges.add(target)
+            self.ctx.unicast(target, "CONNECTION")
+            self.done = True
+        elif self.last_radius >= self.L:
+            # Probed the whole potential region and heard nothing: this is
+            # the highest-ranked node (paper: "it terminates anyway").
+            self.done = True
+
+    # -- messages ---------------------------------------------------------------
+
+    def on_message(self, msg: Message, distance: float) -> None:
+        kind = msg.kind
+        if kind == "REQUEST":
+            rx, ry = msg.payload
+            if self.key > diagonal_key(rx, ry, msg.src):
+                self.ctx.unicast(msg.src, "REPLY")
+        elif kind == "REPLY":
+            self._replies.append((distance, msg.src))
+        elif kind == "CONNECTION":
+            self.tree_edges.add(msg.src)
+        else:
+            raise ProtocolError(f"node {self.id}: unknown message kind {kind!r}")

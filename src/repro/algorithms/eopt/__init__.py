@@ -1,0 +1,5 @@
+"""EOPT — the paper's energy-optimal distributed MST algorithm (Sec. V)."""
+
+from repro.algorithms.eopt.runner import run_eopt, giant_size_threshold
+
+__all__ = ["run_eopt", "giant_size_threshold"]

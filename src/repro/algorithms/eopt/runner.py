@@ -1,0 +1,164 @@
+"""The two-step energy-optimal MST algorithm (paper Sec. V).
+
+Step 1 — every node limits its radius to ``r1 = c1 sqrt(1/n)`` and the
+modified GHS runs to completion.  By Thm 5.2 this leaves, whp, one giant
+fragment of Θ(n) nodes plus small fragments trapped in regions of at most
+``beta log^2 n`` nodes.
+
+Interlude — every fragment counts itself (broadcast + convergecast over
+its tree); a fragment larger than ``beta log^2 n`` declares itself the
+giant and goes passive.
+
+Step 2 — radii rise to ``r2 = c2 sqrt(log n / n)`` (the connectivity
+regime), everyone re-runs HELLO discovery at the new radius, and the
+modified GHS resumes over the remaining fragments only.  The giant accepts
+CONNECTs by absorbing the connecting fragment under its own id, so its
+Θ(n) members never announce id changes — the two tricks that bring the
+expected energy down to O(log n) (Sec. V-C).
+
+Robustness beyond the paper (both events are whp-impossible but reachable
+at small ``n``; the result records them in ``extras``):
+
+* **no giant** — if no fragment clears the threshold, step 2 simply runs
+  with every fragment active: correctness is unaffected, only the energy
+  bound degrades toward plain modified GHS.
+* **multiple giants** — if several fragments clear the threshold, only the
+  largest stays passive; the rest are demoted to active (two passive
+  fragments could otherwise never join).  This arbitration is the one
+  place the harness, not the protocol, decides; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult, collect_tree_edges
+from repro.algorithms.ghs.driver import active_leaders, hello_round, run_ghs_phases
+from repro.algorithms.ghs.node import GHSNode
+from repro.errors import ProtocolError
+from repro.geometry.radius import (
+    PAPER_EOPT_STEP1_CONST,
+    PAPER_GHS_RADIUS_CONST,
+    connectivity_radius,
+    giant_radius,
+)
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.power import PathLossModel
+
+
+def giant_size_threshold(n: int, beta: float = 1.0) -> float:
+    """The ``beta log^2 n`` size bar above which a fragment is the giant."""
+    if n < 2:
+        return 1.0
+    return beta * math.log(n) ** 2
+
+
+def run_eopt(
+    points: np.ndarray,
+    *,
+    c1: float = PAPER_EOPT_STEP1_CONST,
+    c2: float = PAPER_GHS_RADIUS_CONST,
+    beta: float = 1.0,
+    power: PathLossModel | None = None,
+    rx_cost: float = 0.0,
+) -> AlgorithmResult:
+    """Run EOPT on ``points``; returns the exact MST of the radius-``r2`` RGG.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node coordinates in the unit square.
+    c1:
+        Step-1 radius constant: ``r1 = c1 sqrt(1/n)`` (paper: 1.4).
+    c2:
+        Step-2 radius constant: ``r2 = c2 sqrt(ln n / n)`` (paper: 1.6).
+    beta:
+        Giant-declaration threshold multiplier for ``beta log^2 n``.
+    power:
+        Path-loss model; defaults to ``a=1, alpha=2``.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    r1 = giant_radius(n, c1)
+    r2 = connectivity_radius(n, c2)
+    if r1 > r2:
+        # Tiny n: the "sub-connectivity" radius isn't sub anything; clamp so
+        # step 2 still raises power rather than lowering it.
+        r1 = r2
+
+    kernel = SynchronousKernel(pts, max_radius=r1, power=power, rx_cost=rx_cost)
+    kernel.add_nodes(lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True))
+    kernel.start()
+    nodes = kernel.nodes
+
+    # ---- Step 1: modified GHS at the giant-component radius -----------------
+    kernel.set_stage("step1:hello")
+    hello_round(kernel, r1)
+    kernel.set_stage("step1:ghs")
+    phases1 = run_ghs_phases(kernel, nodes)
+
+    # ---- Interlude: fragment size census + giant declaration ----------------
+    kernel.set_stage("step2:size")
+    leaders = [nd.id for nd in nodes if nd.leader]
+    kernel.wake(leaders, "size")
+    kernel.run_until_quiescent()
+    threshold = giant_size_threshold(n, beta)
+    giant_leaders = [
+        nd
+        for nd in nodes
+        if nd.leader and nd.fragment_size is not None and nd.fragment_size > threshold
+    ]
+    demoted = 0
+    if len(giant_leaders) > 1:
+        giant_leaders.sort(key=lambda nd: (-nd.fragment_size, nd.id))
+        demoted = len(giant_leaders) - 1
+        giant_leaders = giant_leaders[:1]
+    giant_size = 0
+    if giant_leaders:
+        giant_size = int(giant_leaders[0].fragment_size)
+        kernel.wake([giant_leaders[0].id], "declare_giant")
+        kernel.run_until_quiescent()
+
+    # ---- Step 2: raise power, rediscover, resume over small fragments -------
+    kernel.set_max_radius(r2)
+    kernel.set_stage("step2:hello")
+    hello_round(kernel, r2)
+    kernel.set_stage("step2:ghs")
+    small_leaders = [nd.id for nd in nodes if nd.leader and not nd.passive]
+    kernel.wake(small_leaders, "activate")
+    phases2 = run_ghs_phases(kernel, nodes, start_phase=phases1 + 1)
+
+    if active_leaders(nodes):  # pragma: no cover - defensive
+        raise ProtocolError("EOPT finished with active fragments remaining")
+
+    edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in nodes)
+    stats = kernel.stats()
+    fragments = {nd.fid for nd in nodes}
+    step1_energy = sum(
+        e for s, e in stats.energy_by_stage.items() if s.startswith("step1")
+    )
+    step2_energy = sum(
+        e for s, e in stats.energy_by_stage.items() if s.startswith("step2")
+    )
+    return AlgorithmResult(
+        name="EOPT",
+        n=n,
+        tree_edges=edges,
+        stats=stats,
+        phases=phases1 + phases2,
+        extras={
+            "r1": r1,
+            "r2": r2,
+            "phases_step1": phases1,
+            "phases_step2": phases2,
+            "giant_size": giant_size,
+            "giant_found": bool(giant_leaders),
+            "giants_demoted": demoted,
+            "size_threshold": threshold,
+            "n_fragments_final": len(fragments),
+            "step1_energy": step1_energy,
+            "step2_energy": step2_energy,
+        },
+    )

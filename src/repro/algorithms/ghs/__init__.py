@@ -1,0 +1,31 @@
+"""The GHS family: original GHS and the paper's modified GHS.
+
+Both share one node state machine (:class:`~repro.algorithms.ghs.node.GHSNode`)
+configured by two switches:
+
+* ``use_tests`` — original GHS probes candidate edges with
+  TEST/ACCEPT/REJECT exchanges (2 unicasts per probe, each edge rejected at
+  most once over the whole run);
+* ``announce`` — modified GHS instead maintains per-neighbour fragment-id
+  caches via ANNOUNCE local broadcasts, making MOE search free (Sec. V-A).
+
+The phase driver (:func:`~repro.algorithms.ghs.driver.run_ghs_phases`)
+implements the synchronous Borůvka phase loop with quiescence barriers;
+see DESIGN.md ("Substitutions") for why the barriers do not perturb the
+energy/message accounting.
+"""
+
+from repro.algorithms.ghs.node import GHSNode, NO_EDGE
+from repro.algorithms.ghs.driver import run_ghs_phases, active_leaders
+from repro.algorithms.ghs.runner import run_ghs, run_modified_ghs
+from repro.algorithms.ghs.audit import audit_ghs_state
+
+__all__ = [
+    "GHSNode",
+    "NO_EDGE",
+    "run_ghs_phases",
+    "active_leaders",
+    "run_ghs",
+    "run_modified_ghs",
+    "audit_ghs_state",
+]

@@ -1,0 +1,109 @@
+"""Post-run consistency audit of GHS-family node states.
+
+Tree equality against the centralized oracle proves the *output* right;
+this auditor proves the *distributed state* right — the invariants that a
+correct protocol must leave behind at quiescence:
+
+* tree edges are symmetric (u lists v iff v lists u) and acyclic;
+* every fragment (maximal tree-connected node set) has a uniform
+  fragment id, and that id belongs to a member of the fragment;
+* exactly one leader-or-passive root per fragment, and leaders are not
+  simultaneously absorbed;
+* parent/children orientation is internally consistent within the last
+  initiated fragment tree;
+* neighbour caches never hold a *wrong* "same fragment" claim (a cached
+  fid equal to the node's own fid implies genuinely same fragment —
+  staleness may hide merges, but must never invent them).
+
+Tests run this after every protocol scenario; it is also handy when
+developing protocol variants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms.ghs.node import GHSNode
+from repro.ds.unionfind import UnionFind
+from repro.errors import ProtocolError
+
+
+def audit_ghs_state(nodes: Sequence[GHSNode]) -> dict:
+    """Validate all invariants; returns summary stats, raises on violation."""
+    n = len(nodes)
+
+    # -- tree-edge symmetry and acyclicity ---------------------------------
+    for nd in nodes:
+        for v in nd.tree_edges:
+            if nd.id not in nodes[v].tree_edges:
+                raise ProtocolError(
+                    f"asymmetric tree edge: {nd.id} lists {v} but not back"
+                )
+    uf = UnionFind(n)
+    for nd in nodes:
+        for v in nd.tree_edges:
+            if nd.id < v:
+                if not uf.union(nd.id, v):
+                    raise ProtocolError(
+                        f"cycle in tree edges at ({nd.id}, {v})"
+                    )
+
+    # -- fragment-id uniformity --------------------------------------------
+    frag_fid: dict[int, int] = {}
+    for nd in nodes:
+        root = uf.find(nd.id)
+        if root in frag_fid:
+            if frag_fid[root] != nd.fid:
+                raise ProtocolError(
+                    f"fragment of node {nd.id} has mixed ids "
+                    f"{frag_fid[root]} and {nd.fid}"
+                )
+        else:
+            frag_fid[root] = nd.fid
+    for root, fid in frag_fid.items():
+        if not (0 <= fid < n) or uf.find(fid) != root:
+            raise ProtocolError(
+                f"fragment id {fid} does not belong to its own fragment"
+            )
+
+    # -- leadership ------------------------------------------------------------
+    leaders_per_fragment: dict[int, list[int]] = {}
+    for nd in nodes:
+        if nd.leader:
+            leaders_per_fragment.setdefault(uf.find(nd.id), []).append(nd.id)
+    for root, leaders in leaders_per_fragment.items():
+        if len(leaders) > 1:
+            raise ProtocolError(
+                f"fragment {root} has multiple leaders: {leaders}"
+            )
+
+    # -- parent/children consistency (within current orientation) -----------
+    for nd in nodes:
+        for c in nd.children:
+            child = nodes[c]
+            if child.cur_phase == nd.cur_phase and child.parent != nd.id:
+                raise ProtocolError(
+                    f"node {c} is a child of {nd.id} but points at "
+                    f"{child.parent}"
+                )
+        if nd.parent is not None and nd.parent not in nd.tree_edges:
+            raise ProtocolError(
+                f"node {nd.id} has parent {nd.parent} outside its tree edges"
+            )
+
+    # -- neighbour caches never invent same-fragment claims ------------------
+    for nd in nodes:
+        for v, cached_fid in nd.nb_fragment.items():
+            if cached_fid == nd.fid and uf.find(v) != uf.find(nd.id):
+                raise ProtocolError(
+                    f"node {nd.id} cache claims {v} shares fragment id "
+                    f"{cached_fid} but they are in different fragments"
+                )
+
+    fragments = {uf.find(i) for i in range(n)}
+    return {
+        "n_fragments": len(fragments),
+        "n_leaders": sum(1 for nd in nodes if nd.leader),
+        "n_passive": sum(1 for nd in nodes if nd.passive),
+        "n_tree_edges": sum(len(nd.tree_edges) for nd in nodes) // 2,
+    }

@@ -1,0 +1,81 @@
+"""The synchronous Borůvka phase driver for the GHS family.
+
+A phase has two quiescence-separated stages (see DESIGN.md —
+"Substitutions" — for why the barriers are accounting-neutral):
+
+* **stage A** — active fragment leaders are woken with ``initiate``; the
+  INITIATE floods (and, in modified mode, the ANNOUNCE refreshes) run to
+  quiescence, so every node holds its current fragment id before anyone
+  evaluates an edge;
+* **stage B** — every node that joined this phase is woken with
+  ``find_moe``; tests, reports, changeroot, connects and (step 2) absorb
+  floods run to quiescence.
+
+The loop ends when no active leader remains: every fragment either halted
+(no outgoing edge — it spans its whole component) or was absorbed into the
+passive giant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ProtocolError
+from repro.algorithms.ghs.node import GHSNode
+from repro.sim.kernel import SynchronousKernel
+
+
+def active_leaders(nodes: Sequence[GHSNode]) -> list[int]:
+    """Ids of leaders of fragments that still participate in phases."""
+    return [nd.id for nd in nodes if nd.leader and not nd.halted and not nd.passive]
+
+
+def run_ghs_phases(
+    kernel: SynchronousKernel,
+    nodes: Sequence[GHSNode],
+    *,
+    start_phase: int = 1,
+    max_phases: int | None = None,
+) -> int:
+    """Run Borůvka phases until no active fragment remains.
+
+    Returns the number of phases executed.  ``start_phase`` offsets the
+    phase counter so EOPT's step 2 continues the numbering of step 1
+    (phase numbers only need to be fresh, never dense).
+    """
+    n = max(len(nodes), 2)
+    if max_phases is None:
+        # Fragments at least halve every phase; the slack covers step-2
+        # restarts and absorb-only phases.
+        max_phases = 2 * int(math.log2(n)) + 20
+    phase = start_phase - 1
+    executed = 0
+    while True:
+        leaders = active_leaders(nodes)
+        if not leaders:
+            return executed
+        phase += 1
+        executed += 1
+        if executed > max_phases:
+            raise ProtocolError(
+                f"GHS did not terminate within {max_phases} phases "
+                f"({len(leaders)} active fragments remain)"
+            )
+        kernel.wake(leaders, "initiate", (phase,))
+        kernel.run_until_quiescent()
+        participants = [
+            nd.id for nd in nodes if nd.cur_phase == phase and not nd.passive
+        ]
+        kernel.wake(participants, "find_moe", (phase,))
+        kernel.run_until_quiescent()
+
+
+def hello_round(kernel: SynchronousKernel, radius: float) -> None:
+    """Make every node broadcast HELLO(fid) at ``radius`` and settle.
+
+    This is the neighbour-discovery step: receivers learn (id, distance,
+    fragment id) for everyone in range.  One local broadcast per node.
+    """
+    kernel.wake(range(kernel.n), "hello", (radius,))
+    kernel.run_until_quiescent()

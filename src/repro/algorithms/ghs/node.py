@@ -1,0 +1,394 @@
+"""The GHS-family node state machine.
+
+One phase of the (synchronous, Borůvka-style) algorithm, as described in
+Sec. V-A of the paper:
+
+1. **INITIATE** — the fragment leader floods ``INITIATE(fid, phase)`` down
+   the fragment tree; every member (re)learns the fragment id, its parent
+   and children.  In modified mode, a member whose id changed broadcasts
+   ``ANNOUNCE(fid)`` so neighbours refresh their caches.
+2. **MOE search** — each member finds its minimum outgoing edge:
+   *original* mode probes incident edges in increasing weight order with
+   ``TEST``/``ACCEPT``/``REJECT`` (a rejected edge — same fragment — is
+   marked dead on both sides forever); *modified* mode just scans its
+   neighbour cache.
+3. **REPORT** — candidates converge up the tree; each node forwards the
+   minimum of its own candidate and its children's reports.
+4. **CHANGEROOT / CONNECT** — the leader routes authority to the node
+   adjacent to the fragment MOE, which sends ``CONNECT`` over it.  Both
+   endpoints add the edge to their tree.
+5. **Merge** — fragments linked by CONNECTs merge.  With distinct edge
+   weights every merge cluster contains exactly one reciprocal CONNECT
+   pair (the *core*); the core endpoint with the larger id becomes the new
+   leader and starts the next phase.
+
+EOPT's step 2 adds the **passive giant** (Sec. V): a passive node answers a
+``CONNECT`` with ``ABSORB(fid)``, and the absorbed fragment floods the
+giant's id through its tree (its members change ids and, in modified mode,
+announce — "small fragments change their ids" so the giant never does).
+
+Edge weights are compared by the globally consistent key
+``(distance, min_id, max_id)``, so every fragment has a *unique* MOE and
+Borůvka merging is well-defined even under (measure-zero) distance ties.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProtocolError
+from repro.sim.message import Message
+from repro.sim.node import NodeProcess
+
+#: Sentinel edge key meaning "no outgoing edge".
+NO_EDGE: tuple[float, int, int] = (math.inf, -1, -1)
+
+
+class GHSNode(NodeProcess):
+    """One processor running the GHS-family protocol."""
+
+    __slots__ = (
+        # configuration
+        "use_tests",
+        "announce",
+        "radio_radius",
+        # durable knowledge
+        "neighbors",      # id -> distance (learned from HELLO/ANNOUNCE deliveries)
+        "nb_fragment",    # id -> fragment id (modified mode caches)
+        "fid",
+        "leader",
+        "halted",
+        "passive",
+        "is_giant",
+        "parent",
+        "children",
+        "tree_edges",
+        "rejected",
+        "cur_phase",
+        "fragment_size",
+        # per-phase scratch
+        "_reports_recv",
+        "_search_done",
+        "_reported",
+        "_cand_nb",
+        "_cand_key",
+        "_best_key",
+        "_best_child",
+        "_final_key",
+        "_final_from",
+        "_test_queue",
+        "_test_idx",
+        "_sent_connect_to",
+        "_connects_in",
+        "_phase_tree",
+        # size census scratch
+        "_size_pending",
+        "_size_acc",
+    )
+
+    def __init__(self, node_id, ctx, *, use_tests: bool, announce: bool) -> None:
+        super().__init__(node_id, ctx)
+        self.use_tests = use_tests
+        self.announce = announce
+        self.radio_radius = 0.0
+        self.neighbors: dict[int, float] = {}
+        self.nb_fragment: dict[int, int] = {}
+        self.fid = node_id
+        self.leader = True
+        self.halted = False
+        self.passive = False
+        self.is_giant = False
+        self.parent: int | None = None
+        self.children: tuple[int, ...] = ()
+        self.tree_edges: set[int] = set()
+        self.rejected: set[int] = set()
+        self.cur_phase = 0
+        self.fragment_size: int | None = None
+        self._reset_phase(0)
+        self._size_pending = 0
+        self._size_acc = 0
+
+    # ------------------------------------------------------------------ utils
+
+    def _edge_key(self, nb: int, dist: float) -> tuple[float, int, int]:
+        """Globally consistent comparison key for the edge (self, nb)."""
+        if self.id < nb:
+            return (dist, self.id, nb)
+        return (dist, nb, self.id)
+
+    def _reset_phase(self, phase: int) -> None:
+        self.cur_phase = phase
+        self._reports_recv = 0
+        self._search_done = False
+        self._reported = False
+        self._cand_nb: int | None = None
+        self._cand_key = NO_EDGE
+        self._best_key = NO_EDGE
+        self._best_child: int | None = None
+        self._final_key = NO_EDGE
+        self._final_from: int | None = None
+        self._test_queue: list[int] = []
+        self._test_idx = 0
+        self._sent_connect_to: int | None = None
+        self._connects_in: set[int] = set()
+        # Snapshot of the fragment tree at phase start.  Edge probing must
+        # exclude *these* (known intra-fragment) edges, not the live
+        # ``tree_edges``: a CONNECT arriving mid-phase adds an edge that is
+        # still outgoing w.r.t. the phase-start partition, and skipping it
+        # would make this node under-report its minimum outgoing edge
+        # (two fragments could then join over two different edges — a cycle).
+        self._phase_tree: frozenset[int] = frozenset(self.tree_edges)
+
+    def _maybe_announce(self, changed: bool) -> None:
+        if changed and self.announce:
+            self.ctx.local_broadcast(self.radio_radius, "ANNOUNCE", self.fid)
+
+    # ------------------------------------------------------------- wake hooks
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        if signal == "hello":
+            (radius,) = payload
+            self.radio_radius = float(radius)
+            self.ctx.local_broadcast(self.radio_radius, "HELLO", self.fid)
+        elif signal == "initiate":
+            (phase,) = payload
+            self._wake_initiate(int(phase))
+        elif signal == "find_moe":
+            (phase,) = payload
+            if self.cur_phase == phase and not self.passive:
+                self._start_search()
+        elif signal == "size":
+            self._wake_size()
+        elif signal == "declare_giant":
+            self._wake_declare_giant()
+        elif signal == "activate":
+            self.halted = False
+        else:
+            raise ProtocolError(f"unknown wake signal {signal!r}")
+
+    def _wake_initiate(self, phase: int) -> None:
+        if not self.leader or self.halted or self.passive:
+            raise ProtocolError(f"node {self.id} woken to initiate but not an active leader")
+        changed = self.fid != self.id
+        self.fid = self.id  # a fragment is identified by its leader's id
+        self._reset_phase(phase)
+        self.parent = None
+        self.children = tuple(self.tree_edges)
+        self._maybe_announce(changed)
+        for c in self.children:
+            self.ctx.unicast(c, "INITIATE", self.fid, phase)
+
+    def _wake_size(self) -> None:
+        if not self.leader:
+            raise ProtocolError(f"node {self.id} woken for size census but not a leader")
+        self._size_pending = len(self.children)
+        self._size_acc = 1
+        if self._size_pending == 0:
+            self.fragment_size = 1
+        else:
+            for c in self.children:
+                self.ctx.unicast(c, "SIZE_REQ")
+
+    def _wake_declare_giant(self) -> None:
+        self.passive = True
+        self.is_giant = True
+        self.halted = True
+        for e in self.tree_edges:
+            self.ctx.unicast(e, "GIANT")
+
+    # --------------------------------------------------------- message hooks
+
+    def on_message(self, msg: Message, distance: float) -> None:
+        kind = msg.kind
+        src = msg.src
+        if kind == "HELLO":
+            self.neighbors[src] = distance
+            self.nb_fragment[src] = msg.payload[0]
+        elif kind == "ANNOUNCE":
+            self.neighbors.setdefault(src, distance)
+            self.nb_fragment[src] = msg.payload[0]
+        elif kind == "INITIATE":
+            fid, phase = msg.payload
+            self._on_initiate(src, fid, phase)
+        elif kind == "TEST":
+            (fid,) = msg.payload
+            if fid != self.fid:
+                self.ctx.unicast(src, "ACCEPT")
+            else:
+                self.rejected.add(src)  # same fragment forever
+                self.ctx.unicast(src, "REJECT")
+        elif kind == "ACCEPT":
+            self._cand_nb = src
+            self._cand_key = self._edge_key(src, self.neighbors[src])
+            self._search_done = True
+            self._try_report()
+        elif kind == "REJECT":
+            self.rejected.add(src)
+            self._continue_tests()
+        elif kind == "REPORT":
+            d, lo, hi = msg.payload
+            self._reports_recv += 1
+            key = (d, lo, hi)
+            if key < self._best_key:
+                self._best_key = key
+                self._best_child = src
+            self._try_report()
+        elif kind == "CHANGEROOT":
+            self._route_connect()
+        elif kind == "CONNECT":
+            self._on_connect(src)
+        elif kind == "ABSORB":
+            (fid,) = msg.payload
+            self._on_absorb(src, fid)
+        elif kind == "SIZE_REQ":
+            self._on_size_req(src)
+        elif kind == "SIZE_RESP":
+            (count,) = msg.payload
+            self._on_size_resp(count)
+        elif kind == "GIANT":
+            self._on_giant(src)
+        else:
+            raise ProtocolError(f"node {self.id}: unknown message kind {kind!r}")
+
+    # -- phase stage A: initiate flood ---------------------------------------
+
+    def _on_initiate(self, src: int, fid: int, phase: int) -> None:
+        self.leader = False
+        changed = fid != self.fid
+        self.fid = fid
+        self._reset_phase(phase)
+        self.parent = src
+        self.children = tuple(e for e in self.tree_edges if e != src)
+        self._maybe_announce(changed)
+        for c in self.children:
+            self.ctx.unicast(c, "INITIATE", fid, phase)
+
+    # -- phase stage B: MOE search -------------------------------------------
+
+    def _start_search(self) -> None:
+        if self.use_tests:
+            cands = [
+                nb
+                for nb in self.neighbors
+                if nb not in self._phase_tree and nb not in self.rejected
+            ]
+            cands.sort(key=lambda nb: self._edge_key(nb, self.neighbors[nb]))
+            self._test_queue = cands
+            self._test_idx = 0
+            self._continue_tests()
+        else:
+            best_nb, best_key = None, NO_EDGE
+            fid = self.fid
+            neighbors = self.neighbors
+            for nb, nb_fid in self.nb_fragment.items():
+                if nb_fid == fid:
+                    continue
+                key = self._edge_key(nb, neighbors[nb])
+                if key < best_key:
+                    best_key, best_nb = key, nb
+            self._cand_nb = best_nb
+            self._cand_key = best_key
+            self._search_done = True
+            self._try_report()
+
+    def _continue_tests(self) -> None:
+        while self._test_idx < len(self._test_queue):
+            nb = self._test_queue[self._test_idx]
+            self._test_idx += 1
+            if nb in self.rejected or nb in self._phase_tree:
+                continue
+            self.ctx.unicast(nb, "TEST", self.fid)
+            return
+        self._search_done = True
+        self._try_report()
+
+    # -- phase stage B: report convergecast ------------------------------------
+
+    def _try_report(self) -> None:
+        if self._reported or not self._search_done:
+            return
+        if self._reports_recv < len(self.children):
+            return
+        self._reported = True
+        if self._cand_key <= self._best_key:
+            self._final_key, self._final_from = self._cand_key, None
+        else:
+            self._final_key, self._final_from = self._best_key, self._best_child
+        if self.parent is not None:
+            d, lo, hi = self._final_key
+            self.ctx.unicast(self.parent, "REPORT", d, lo, hi)
+        else:
+            # Leader decides for the fragment.
+            if self._final_key == NO_EDGE:
+                self.halted = True  # no outgoing edge: fragment is final
+                return
+            self.leader = False  # leadership is re-established at the core
+            self._route_connect()
+
+    def _route_connect(self) -> None:
+        if self._final_from is None:
+            nb = self._cand_nb
+            if nb is None:
+                raise ProtocolError(f"node {self.id}: CHANGEROOT with no candidate")
+            self._sent_connect_to = nb
+            self.tree_edges.add(nb)
+            self.ctx.unicast(nb, "CONNECT", self.fid)
+            # The reciprocal CONNECT may already have arrived this phase.
+            if nb in self._connects_in and self.id > nb:
+                self.leader = True
+        else:
+            self.ctx.unicast(self._final_from, "CHANGEROOT")
+
+    # -- phase stage B: merging -------------------------------------------------
+
+    def _on_connect(self, src: int) -> None:
+        self.tree_edges.add(src)
+        if self.passive:
+            # Giant (or already-absorbed) side: accept and absorb (Sec. V).
+            self.ctx.unicast(src, "ABSORB", self.fid)
+            return
+        self._connects_in.add(src)
+        if self._sent_connect_to == src and self.id > src:
+            self.leader = True  # this edge is the core; higher id leads
+
+    def _on_absorb(self, src: int, fid: int) -> None:
+        if self.passive and self.fid == fid:
+            return  # already absorbed into this giant
+        self.fid = fid
+        self.passive = True
+        self.leader = False
+        self.halted = True
+        self._maybe_announce(True)  # "small fragments change their ids"
+        for e in self.tree_edges:
+            if e != src:
+                self.ctx.unicast(e, "ABSORB", fid)
+
+    # -- size census (EOPT step 2 preamble) ---------------------------------------
+
+    def _on_size_req(self, src: int) -> None:
+        if not self.children:
+            self.ctx.unicast(src, "SIZE_RESP", 1)
+            return
+        self._size_pending = len(self.children)
+        self._size_acc = 1
+        for c in self.children:
+            self.ctx.unicast(c, "SIZE_REQ")
+
+    def _on_size_resp(self, count: int) -> None:
+        self._size_acc += count
+        self._size_pending -= 1
+        if self._size_pending == 0:
+            if self.parent is None:
+                self.fragment_size = self._size_acc
+            else:
+                self.ctx.unicast(self.parent, "SIZE_RESP", self._size_acc)
+
+    def _on_giant(self, src: int) -> None:
+        if self.passive:
+            return
+        self.passive = True
+        self.is_giant = True
+        self.leader = False
+        for e in self.tree_edges:
+            if e != src:
+                self.ctx.unicast(e, "GIANT")

@@ -1,0 +1,121 @@
+"""Top-level runners for plain GHS and modified GHS.
+
+Both operate at the connectivity radius ``r = c sqrt(ln n / n)`` (paper
+Sec. VII uses ``c = 1.6``) and produce the exact MST of the RGG at that
+radius — a spanning forest if the RGG happens to be disconnected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult, collect_tree_edges
+from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
+from repro.algorithms.ghs.node import GHSNode
+from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.power import PathLossModel
+
+
+def _run_family(
+    points: np.ndarray,
+    *,
+    name: str,
+    use_tests: bool,
+    announce: bool,
+    radius: float | None,
+    radius_const: float,
+    power: PathLossModel | None,
+    rx_cost: float = 0.0,
+) -> AlgorithmResult:
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    r = connectivity_radius(n, radius_const) if radius is None else float(radius)
+    kernel = SynchronousKernel(pts, max_radius=r, power=power, rx_cost=rx_cost)
+    kernel.add_nodes(
+        lambda i, ctx: GHSNode(i, ctx, use_tests=use_tests, announce=announce)
+    )
+    kernel.start()
+    kernel.set_stage("hello")
+    hello_round(kernel, r)
+    kernel.set_stage("phases")
+    phases = run_ghs_phases(kernel, kernel.nodes)
+    edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in kernel.nodes)
+    stats = kernel.stats()
+    fragments = {nd.fid for nd in kernel.nodes}
+    return AlgorithmResult(
+        name=name,
+        n=n,
+        tree_edges=edges,
+        stats=stats,
+        phases=phases,
+        extras={
+            "radius": r,
+            "n_fragments_final": len(fragments),
+            "rejected_probes": stats.messages_by_kind.get("REJECT", 0),
+        },
+    )
+
+
+def run_ghs(
+    points: np.ndarray,
+    *,
+    radius: float | None = None,
+    radius_const: float = PAPER_GHS_RADIUS_CONST,
+    power: PathLossModel | None = None,
+    rx_cost: float = 0.0,
+) -> AlgorithmResult:
+    """Run the original GHS algorithm (with TEST probing) on ``points``.
+
+    This is the paper's baseline: message-optimal but energy-suboptimal —
+    Θ(log² n) expected energy on uniform points at the connectivity radius,
+    dominated by the Θ(|E|) TEST/REJECT probes at distance ≈ r.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node coordinates in the unit square.
+    radius:
+        Transmission radius; defaults to
+        ``radius_const * sqrt(ln n / n)``.
+    radius_const:
+        Multiplier for the default radius (paper experiments: 1.6).
+    power:
+        Path-loss model; defaults to ``a=1, alpha=2``.
+    """
+    return _run_family(
+        points,
+        name="GHS",
+        use_tests=True,
+        announce=False,
+        radius=radius,
+        radius_const=radius_const,
+        power=power,
+        rx_cost=rx_cost,
+    )
+
+
+def run_modified_ghs(
+    points: np.ndarray,
+    *,
+    radius: float | None = None,
+    radius_const: float = PAPER_GHS_RADIUS_CONST,
+    power: PathLossModel | None = None,
+    rx_cost: float = 0.0,
+) -> AlgorithmResult:
+    """Run the modified GHS (neighbour caches + ANNOUNCE) on ``points``.
+
+    Same MST as :func:`run_ghs`, but MOE search is a local lookup: total
+    messages drop to O(n·phases).  Used standalone for the ABL-G ablation
+    and as the engine inside both EOPT steps.
+    """
+    return _run_family(
+        points,
+        name="MGHS",
+        use_tests=False,
+        announce=True,
+        radius=radius,
+        radius_const=radius_const,
+        power=power,
+        rx_cost=rx_cost,
+    )

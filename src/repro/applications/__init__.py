@@ -1,0 +1,29 @@
+"""Applications the paper motivates MST construction with (Secs. I-II).
+
+* :mod:`~repro.applications.aggregation` — convergecast data aggregation
+  over a tree ("MST is the optimal data aggregation tree", Sec. II), with
+  a direct-to-sink baseline;
+* :mod:`~repro.applications.broadcast` — tree-based energy-efficient
+  broadcast (MST broadcast is within a constant of optimal [5, 27])
+  against naive flooding;
+* :mod:`~repro.applications.topology` — MST-style topology control: the
+  local-MST construction that keeps a sparse connected backbone;
+* :mod:`~repro.applications.maintenance` — incremental MST repair after
+  node failures (the intro's mobility/failure motivation).
+"""
+
+from repro.applications.aggregation import simulate_aggregation, direct_to_sink_energy
+from repro.applications.broadcast import simulate_tree_broadcast, simulate_flooding
+from repro.applications.topology import local_mst_topology, topology_stats
+from repro.applications.maintenance import repair_after_failures, surviving_forest
+
+__all__ = [
+    "simulate_aggregation",
+    "direct_to_sink_energy",
+    "simulate_tree_broadcast",
+    "simulate_flooding",
+    "local_mst_topology",
+    "topology_stats",
+    "repair_after_failures",
+    "surviving_forest",
+]

@@ -1,0 +1,118 @@
+"""MST-style topology control: the Local-MST (LMST) backbone.
+
+The paper cites topology-control algorithms that "use MSTs to construct
+well connected subgraphs with provable cost relative to the optimum"
+(Sec. I, [24]).  The canonical such construction is Li–Hou–Sha LMST:
+every node computes the MST of its 1-hop neighbourhood (itself included)
+and keeps only the edges incident to it in that local MST.  The
+symmetrised result is known to
+
+* preserve connectivity whenever the input RGG is connected,
+* have maximum degree at most 6,
+* contain the (global) Euclidean MST restricted to the radius.
+
+:func:`local_mst_topology` implements the construction;
+:func:`topology_stats` measures edge/degree/energy-cost reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.mst.kruskal import kruskal_mst
+from repro.rgg.build import GeometricGraph, _assemble
+
+
+def local_mst_topology(graph: GeometricGraph, *, symmetric: bool = True) -> GeometricGraph:
+    """The LMST backbone of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input RGG (each node sees its 1-hop neighbourhood).
+    symmetric:
+        ``True`` keeps an edge iff *both* endpoints selected it (LMST's
+        usual symmetrised variant G0-); ``False`` keeps it if either did.
+
+    Returns a new :class:`GeometricGraph` over the same points.
+    """
+    n = graph.n
+    pts = graph.points
+    selected: set[tuple[int, int]] = set()
+    votes: dict[tuple[int, int], int] = {}
+    for u in range(n):
+        nbrs = graph.neighbors(u)
+        if len(nbrs) == 0:
+            continue
+        local = np.concatenate(([u], nbrs))
+        index_of = {int(v): k for k, v in enumerate(local)}
+        # All edges of graph among the local node set (1-hop neighbourhood).
+        rows: list[tuple[int, int]] = []
+        weights: list[float] = []
+        for a in local:
+            a = int(a)
+            for b in graph.neighbors(a):
+                b = int(b)
+                if b in index_of and a < b:
+                    rows.append((index_of[a], index_of[b]))
+                    d = pts[a] - pts[b]
+                    weights.append(float(d @ d))
+        if not rows:
+            continue
+        tree_edges, _ = kruskal_mst(
+            len(local), np.array(rows, dtype=np.int64), np.array(weights)
+        )
+        u_local = index_of[u]
+        for a, b in tree_edges:
+            if a == u_local or b == u_local:
+                other = int(local[b]) if a == u_local else int(local[a])
+                key = (u, other) if u < other else (other, u)
+                votes[key] = votes.get(key, 0) + 1
+    need = 2 if symmetric else 1
+    selected = {k for k, v in votes.items() if v >= need}
+    if not selected:
+        edges = np.zeros((0, 2), dtype=np.int64)
+        lengths = np.zeros(0)
+    else:
+        edges = np.array(sorted(selected), dtype=np.int64)
+        d = pts[edges[:, 0]] - pts[edges[:, 1]]
+        lengths = np.sqrt(np.sum(d * d, axis=1))
+    return _assemble(pts, graph.radius, edges, lengths)
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Before/after comparison of a topology-control pass."""
+
+    n: int
+    edges_before: int
+    edges_after: int
+    max_degree_before: int
+    max_degree_after: int
+    energy_cost_before: float  # sum of d^2 over kept links
+    energy_cost_after: float
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of edges removed by the control pass."""
+        if self.edges_before == 0:
+            return 0.0
+        return 1.0 - self.edges_after / self.edges_before
+
+
+def topology_stats(before: GeometricGraph, after: GeometricGraph) -> TopologyStats:
+    """Summarise what a topology-control pass changed."""
+    if before.n != after.n:
+        raise GraphError("graphs have different node counts")
+    return TopologyStats(
+        n=before.n,
+        edges_before=before.m,
+        edges_after=after.m,
+        max_degree_before=int(before.degrees().max()) if before.n else 0,
+        max_degree_after=int(after.degrees().max()) if after.n else 0,
+        energy_cost_before=float(np.sum(before.lengths**2)),
+        energy_cost_after=float(np.sum(after.lengths**2)),
+    )

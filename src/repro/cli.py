@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's experiments without writing code:
+
+* ``run``    — one algorithm on one instance, full stats;
+* ``fig3a`` / ``fig3b`` — the energy sweep and the slope fits;
+* ``fig1`` / ``fig2``   — percolation picture / potential-region lemmas;
+* ``tab1``   — the Co-NNT vs MST quality comparison;
+* ``thm52``  — giant-component empirics;
+* ``lb``     — lower-bound constants;
+* ``render`` — SVG of an instance with its MST and NNT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import BENCH_NS, SweepConfig
+from repro.experiments.report import format_table
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.runner import run_algorithm
+    from repro.geometry.points import uniform_points
+
+    pts = uniform_points(args.n, seed=args.seed)
+    res = run_algorithm(args.algorithm, pts)
+    print(res.summary())
+    print("\nper message kind:")
+    rows = [(k, m, f"{e:.4f}") for k, m, e in res.stats.kind_table()]
+    print(format_table(["kind", "messages", "energy"], rows))
+    if res.stats.energy_by_stage:
+        print("\nper stage:")
+        rows = [(s, m, f"{e:.4f}") for s, m, e in res.stats.stage_table()]
+        print(format_table(["stage", "messages", "energy"], rows))
+    return 0
+
+
+def _cmd_fig3a(args) -> int:
+    from repro.experiments.figures import fig3a_energy, fig3a_plot, fig3a_rows
+
+    ns = tuple(n for n in BENCH_NS if n <= args.max_n)
+    cfg = SweepConfig(ns=ns, seeds=tuple(range(args.seeds)))
+    sweep = fig3a_energy(cfg)
+    headers = ["n"] + [f"E[{a}]" for a in cfg.algorithms]
+    print(format_table(headers, fig3a_rows(sweep)))
+    print()
+    print(fig3a_plot(sweep))
+    if args.save:
+        from repro.experiments.io import save_sweep
+
+        print(f"\nsweep saved to {save_sweep(sweep, args.save)}")
+    return 0
+
+
+def _cmd_fig3b(args) -> int:
+    from repro.experiments.figures import fig3a_energy, fig3b_plot, fig3b_slopes
+    from repro.experiments.io import load_sweep
+
+    if args.load:
+        sweep = load_sweep(args.load)
+    else:
+        ns = tuple(n for n in BENCH_NS if n <= args.max_n)
+        sweep = fig3a_energy(SweepConfig(ns=ns, seeds=tuple(range(args.seeds))))
+    fits = fig3b_slopes(sweep, min_n=args.min_n)
+    rows = [
+        (a, f"{f.slope:.2f}", f"{f.r_squared:.3f}") for a, f in fits.items()
+    ]
+    print(format_table(["algorithm", "slope", "R^2"], rows))
+    print()
+    print(fig3b_plot(sweep, min_n=args.min_n))
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments.figures import fig1_percolation
+
+    r = fig1_percolation(n=args.n, c1=args.c1, seed=args.seed)
+    print(
+        f"n={r.n}  r={r.radius:.4f}  giant={r.giant_fraction:.1%}  "
+        f"max small region={r.max_small_region_nodes} nodes"
+    )
+    print(r.good_cluster_picture)
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments.figures import fig2_potential
+
+    r = fig2_potential(n=args.n, seed=args.seed)
+    rows = [
+        ("min potential angle (Lemma 6.1: >= 0.5)", f"{r.min_potential_angle:.4f}"),
+        ("n * E[d_u^2] (Thm 6.1: <= 4)", f"{r.n * r.mean_sq_connect_distance:.3f}"),
+        ("n * 2/(n alpha) bound (Lemma 6.2)", f"{r.n * r.expected_sq_bound:.3f}"),
+        ("max d_u / sqrt(log n / n) (Lemma 6.3)", f"{r.lemma63_constant:.3f}"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_tab1(args) -> int:
+    from repro.experiments.tables import PAPER_TAB1_EDGE_SUMS, tab1_quality
+
+    rows = []
+    for row in tab1_quality(ns=tuple(args.ns), seed=args.seed):
+        paper = PAPER_TAB1_EDGE_SUMS.get(row.n, ("-", "-"))
+        rows.append(
+            (
+                row.n,
+                f"{row.connt_edge_sum:.1f}",
+                paper[0],
+                f"{row.mst_edge_sum:.1f}",
+                paper[1],
+                f"{row.connt_sq_sum:.2f}",
+                f"{row.mst_sq_sum:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["n", "CoNNT len", "paper", "MST len", "paper", "CoNNT d^2", "MST d^2"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_thm52(args) -> int:
+    from repro.experiments.tables import thm52_giant
+
+    rows = [
+        (r.n, f"{r.radius:.4f}", f"{r.giant_fraction:.1%}", r.second_component,
+         f"{r.beta_estimate:.2f}")
+        for r in thm52_giant(ns=tuple(args.ns), c1=args.c1, seed=args.seed)
+    ]
+    print(format_table(["n", "r1", "giant", "2nd comp", "beta"], rows))
+    return 0
+
+
+def _cmd_lb(args) -> int:
+    from repro.experiments.tables import lower_bound_table
+
+    rows = [
+        (r.n, f"{r.l_mst:.3f}", r.knn_k, f"{r.knn_min_energy:.2e}",
+         f"{r.lemma41_b:.1f}", f"{r.omega_log_curve:.2f}")
+        for r in lower_bound_table(ns=tuple(args.ns), seed=args.seed)
+    ]
+    print(
+        format_table(
+            ["n", "L_MST", "k", "min kNN energy", "b", "log n/pi"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from repro.geometry.points import uniform_points
+    from repro.mst.delaunay import euclidean_mst
+    from repro.mst.nnt import nearest_neighbor_tree
+    from repro.viz.svg import render_instance
+
+    pts = uniform_points(args.n, seed=args.seed)
+    mst, _ = euclidean_mst(pts)
+    nnt, _ = nearest_neighbor_tree(pts)
+    canvas = render_instance(
+        pts, {"MST": mst, "NNT": nnt}, title=f"n={args.n} seed={args.seed}"
+    )
+    print(f"written {canvas.save(args.output)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-optimal distributed MST — paper reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one instance")
+    run.add_argument(
+        "algorithm", choices=["GHS", "MGHS", "EOPT", "Co-NNT", "Rand-NNT"]
+    )
+    run.add_argument("-n", type=int, default=500)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")
+    f3a.add_argument("--max-n", type=int, default=2000)
+    f3a.add_argument("--seeds", type=int, default=1)
+    f3a.add_argument("--save", help="write the sweep JSON here")
+    f3a.set_defaults(func=_cmd_fig3a)
+
+    f3b = sub.add_parser("fig3b", help="log-log-log slope fits (Fig. 3b)")
+    f3b.add_argument("--max-n", type=int, default=2000)
+    f3b.add_argument("--seeds", type=int, default=1)
+    f3b.add_argument("--min-n", type=int, default=100)
+    f3b.add_argument("--load", help="reuse a sweep JSON from fig3a --save")
+    f3b.set_defaults(func=_cmd_fig3b)
+
+    f1 = sub.add_parser("fig1", help="percolation picture (Fig. 1)")
+    f1.add_argument("-n", type=int, default=3000)
+    f1.add_argument("--c1", type=float, default=3.0)
+    f1.add_argument("--seed", type=int, default=0)
+    f1.set_defaults(func=_cmd_fig1)
+
+    f2 = sub.add_parser("fig2", help="potential-region lemma checks (Fig. 2)")
+    f2.add_argument("-n", type=int, default=2000)
+    f2.add_argument("--seed", type=int, default=0)
+    f2.set_defaults(func=_cmd_fig2)
+
+    t1 = sub.add_parser("tab1", help="Co-NNT vs MST quality (Sec. VII)")
+    t1.add_argument("--ns", type=int, nargs="+", default=[1000, 5000])
+    t1.add_argument("--seed", type=int, default=0)
+    t1.set_defaults(func=_cmd_tab1)
+
+    t52 = sub.add_parser("thm52", help="giant-component empirics (Thm 5.2)")
+    t52.add_argument("--ns", type=int, nargs="+", default=[500, 1000, 2000, 4000])
+    t52.add_argument("--c1", type=float, default=1.4)
+    t52.add_argument("--seed", type=int, default=0)
+    t52.set_defaults(func=_cmd_thm52)
+
+    lb = sub.add_parser("lb", help="lower-bound constants (Sec. IV)")
+    lb.add_argument("--ns", type=int, nargs="+", default=[500, 1000, 2000])
+    lb.add_argument("--seed", type=int, default=0)
+    lb.set_defaults(func=_cmd_lb)
+
+    rd = sub.add_parser("render", help="SVG of an instance with MST + NNT")
+    rd.add_argument("-n", type=int, default=300)
+    rd.add_argument("--seed", type=int, default=0)
+    rd.add_argument("-o", "--output", default="instance.svg")
+    rd.set_defaults(func=_cmd_render)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

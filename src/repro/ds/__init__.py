@@ -1,0 +1,19 @@
+"""Core data structures shared across the library.
+
+This subpackage is dependency-free (NumPy only) and hosts the classic
+building blocks used by the MST algorithms, the percolation analytics and
+the simulator:
+
+* :class:`~repro.ds.unionfind.UnionFind` — disjoint sets with union by rank
+  and path compression (Kruskal, fragment merging, cluster labeling).
+* :class:`~repro.ds.heaps.IndexedMinHeap` — a binary min-heap with
+  decrease-key (Prim, event scheduling).
+* :class:`~repro.ds.grid.CellGrid` — a uniform 2-D bucket grid over the unit
+  square (percolation cells, neighbour queries without scipy).
+"""
+
+from repro.ds.unionfind import UnionFind
+from repro.ds.heaps import IndexedMinHeap
+from repro.ds.grid import CellGrid
+
+__all__ = ["UnionFind", "IndexedMinHeap", "CellGrid"]

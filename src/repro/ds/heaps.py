@@ -1,0 +1,129 @@
+"""An indexed binary min-heap with decrease-key.
+
+Python's :mod:`heapq` has no decrease-key, which Prim's algorithm wants for
+its O(E log V) bound.  This heap maps integer keys (vertex ids) to float
+priorities and supports ``push``, ``pop_min``, ``decrease`` and membership
+tests, all O(log n) or better.
+"""
+
+from __future__ import annotations
+
+
+class IndexedMinHeap:
+    """Binary min-heap over integer items with float priorities.
+
+    Items are arbitrary hashable objects (vertex ids in practice); each item
+    may appear at most once.
+
+    Examples
+    --------
+    >>> h = IndexedMinHeap()
+    >>> h.push('a', 3.0); h.push('b', 1.0)
+    >>> h.pop_min()
+    ('b', 1.0)
+    >>> h.decrease('a', 0.5)
+    >>> h.pop_min()
+    ('a', 0.5)
+    """
+
+    __slots__ = ("_items", "_prios", "_pos")
+
+    def __init__(self) -> None:
+        self._items: list = []       # heap-ordered items
+        self._prios: list[float] = []  # parallel priorities
+        self._pos: dict = {}         # item -> index in _items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._pos
+
+    def priority(self, item) -> float:
+        """Current priority of ``item`` (KeyError if absent)."""
+        return self._prios[self._pos[item]]
+
+    def push(self, item, priority: float) -> None:
+        """Insert ``item``; raises ``ValueError`` if already present."""
+        if item in self._pos:
+            raise ValueError(f"item {item!r} already in heap")
+        self._items.append(item)
+        self._prios.append(priority)
+        self._pos[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def push_or_decrease(self, item, priority: float) -> bool:
+        """Insert ``item``, or lower its priority if it would decrease.
+
+        Returns ``True`` if the heap changed.
+        """
+        if item not in self._pos:
+            self.push(item, priority)
+            return True
+        if priority < self._prios[self._pos[item]]:
+            self.decrease(item, priority)
+            return True
+        return False
+
+    def decrease(self, item, priority: float) -> None:
+        """Lower ``item``'s priority; raises if it would increase."""
+        i = self._pos[item]
+        if priority > self._prios[i]:
+            raise ValueError(
+                f"decrease-key would increase priority of {item!r}: "
+                f"{self._prios[i]} -> {priority}"
+            )
+        self._prios[i] = priority
+        self._sift_up(i)
+
+    def peek_min(self):
+        """Return ``(item, priority)`` of the minimum without removing it."""
+        if not self._items:
+            raise IndexError("peek on empty heap")
+        return self._items[0], self._prios[0]
+
+    def pop_min(self):
+        """Remove and return ``(item, priority)`` of the minimum."""
+        if not self._items:
+            raise IndexError("pop on empty heap")
+        item, prio = self._items[0], self._prios[0]
+        last_item, last_prio = self._items.pop(), self._prios.pop()
+        del self._pos[item]
+        if self._items:
+            self._items[0], self._prios[0] = last_item, last_prio
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        return item, prio
+
+    # -- internal sifting ---------------------------------------------------
+
+    def _swap(self, i: int, j: int) -> None:
+        items, prios, pos = self._items, self._prios, self._pos
+        items[i], items[j] = items[j], items[i]
+        prios[i], prios[j] = prios[j], prios[i]
+        pos[items[i]], pos[items[j]] = i, j
+
+    def _sift_up(self, i: int) -> None:
+        prios = self._prios
+        while i > 0:
+            parent = (i - 1) >> 1
+            if prios[i] < prios[parent]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        prios = self._prios
+        n = len(prios)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            smallest = i
+            if left < n and prios[left] < prios[smallest]:
+                smallest = left
+            if right < n and prios[right] < prios[smallest]:
+                smallest = right
+            if smallest == i:
+                return
+            self._swap(i, smallest)
+            i = smallest

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (points outside the unit square, bad radius...)."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (disconnected where connectivity is
+    required, vertex index out of range, malformed edge list...)."""
+
+
+class NotSpanningError(GraphError):
+    """An edge set expected to span all vertices does not."""
+
+
+class CycleError(GraphError):
+    """An edge set expected to be acyclic contains a cycle."""
+
+
+class SimulationError(ReproError):
+    """The distributed-simulation kernel reached an invalid state."""
+
+
+class PowerLimitError(SimulationError):
+    """A node attempted to transmit beyond its allowed maximum radius."""
+
+
+class ProtocolError(SimulationError):
+    """A distributed protocol violated its own state-machine invariants."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure (threshold search, fit) failed to converge."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment configuration or inconsistent sweep results."""

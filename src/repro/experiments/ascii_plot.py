@@ -1,0 +1,87 @@
+"""Terminal plotting for bench output.
+
+The benches must *show* the figures they regenerate; with no display in a
+test environment, we render them as ASCII scatter plots (one glyph per
+series) and character grids (for the Fig. 1 percolation picture).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_xy(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Each series gets the next glyph from ``o x + * ...``; the legend maps
+    glyphs back to names.  Axes are linear; transform inputs (log, etc.)
+    before calling if needed.
+    """
+    if not series:
+        raise ExperimentError("no series to plot")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ExperimentError("series are empty")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} [{y_lo:.3g} .. {y_hi:.3g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} [{x_lo:.3g} .. {x_hi:.3g}]    " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_grid(mask: np.ndarray, *, chars: str = ".#", max_side: int = 64) -> str:
+    """Render a 2-D integer/boolean grid as characters.
+
+    ``chars[v]`` renders value ``v`` (values clipped into range).  Grids
+    larger than ``max_side`` are downsampled by majority so the Fig. 1
+    picture stays terminal-sized.
+    """
+    grid = np.asarray(mask)
+    if grid.ndim != 2:
+        raise ExperimentError(f"grid must be 2-D, got shape {grid.shape}")
+    m = max(grid.shape)
+    if m > max_side:
+        step = int(math.ceil(m / max_side))
+        grid = grid[::step, ::step]
+    grid = np.clip(grid.astype(np.int64), 0, len(chars) - 1)
+    # Transpose so x runs rightward and y upward, matching the unit square.
+    rows = []
+    for j in range(grid.shape[1] - 1, -1, -1):
+        rows.append("".join(chars[v] for v in grid[:, j]))
+    return "\n".join(rows)

@@ -1,0 +1,185 @@
+"""Generators for the paper's figures.
+
+Each returns plain data (rows / arrays / strings) so benches can print it
+and tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.ascii_plot import ascii_grid, ascii_xy
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import EnergySweep, sweep_energy
+from repro.geometry.points import uniform_points
+from repro.geometry.potential import (
+    nearest_higher_rank_distance,
+    potential_angle,
+)
+from repro.geometry.radius import giant_radius
+from repro.percolation.cells import good_cell_mask, occupancy_grid
+from repro.percolation.giant import analyze_percolation
+from repro.theory.scaling import FitResult, fit_loglog_slope
+
+
+# --------------------------------------------------------------------- FIG1
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """The giant-component picture of Fig. 1, as data + ASCII art."""
+
+    n: int
+    radius: float
+    giant_fraction: float
+    max_small_region_nodes: int
+    good_cluster_picture: str  # '#' = largest good cluster, '.' = rest
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FIG1: n={self.n} r={self.radius:.4f} "
+            f"giant={self.giant_fraction:.2%} "
+            f"max small region={self.max_small_region_nodes} nodes\n"
+            f"{self.good_cluster_picture}"
+        )
+
+
+def fig1_percolation(n: int = 2000, c1: float = 3.0, seed: int = 0) -> Fig1Result:
+    """Reproduce Fig. 1: the unique giant cluster of good cells.
+
+    The picture marks cells of the largest good-cell cluster ``#`` and all
+    other cells ``.`` — the complement's connected gray regions of
+    Fig. 1(b) are the small regions trapping non-giant components.
+
+    The default ``c1 = 3`` puts the r/2-cell lattice in the supercritical
+    site-percolation regime the proof of Thm 5.2 needs ("there is a
+    positive constant c1 such that..."); the paper's *experimental*
+    constant 1.4 is enough for the RGG itself to percolate but not for
+    this coarser cell-level picture (see
+    :attr:`repro.percolation.giant.PercolationReport.max_small_region_nodes`).
+    """
+    pts = uniform_points(n, seed=seed)
+    r = giant_radius(n, c1)
+    report = analyze_percolation(pts, r)
+    grid = occupancy_grid(pts, r)
+    good = good_cell_mask(grid)
+    labels = grid.label_clusters(good, connectivity=4)
+    sizes = grid.cluster_sizes(labels)
+    if len(sizes):
+        largest = int(np.argmax(sizes)) + 1
+        picture = ascii_grid((labels == largest).astype(int))
+    else:
+        picture = ascii_grid(np.zeros_like(labels))
+    return Fig1Result(
+        n=n,
+        radius=r,
+        giant_fraction=report.giant_fraction,
+        max_small_region_nodes=report.max_small_region_nodes,
+        good_cluster_picture=picture,
+    )
+
+
+# --------------------------------------------------------------------- FIG2
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Numeric verification of the potential-region lemmas (Fig. 2)."""
+
+    n: int
+    min_potential_angle: float       # Lemma 6.1: >= 0.5
+    mean_sq_connect_distance: float  # Theorem 6.1: n * this <= 4
+    expected_sq_bound: float         # mean of 2/(n alpha_u) (Lemma 6.2)
+    max_connect_distance: float      # Lemma 6.3: <= c sqrt(log n / n)
+    lemma63_constant: float          # that c, measured
+
+
+def fig2_potential(n: int = 2000, seed: int = 0) -> Fig2Result:
+    """Measure alpha_u, d_u and the lemma constants on one instance."""
+    if n < 2:
+        raise ExperimentError("need n >= 2")
+    pts = uniform_points(n, seed=seed)
+    alpha = potential_angle(pts)
+    d = nearest_higher_rank_distance(pts)
+    finite = np.isfinite(d)
+    d_fin = d[finite]
+    alpha_fin = alpha[finite]
+    with np.errstate(divide="ignore"):
+        bound = 2.0 / (n * alpha_fin)
+    return Fig2Result(
+        n=n,
+        min_potential_angle=float(alpha.min()),
+        mean_sq_connect_distance=float(np.mean(d_fin**2)),
+        expected_sq_bound=float(np.mean(bound)),
+        max_connect_distance=float(d_fin.max()),
+        lemma63_constant=float(d_fin.max() / np.sqrt(np.log(n) / n)),
+    )
+
+
+# -------------------------------------------------------------------- FIG3a
+
+def fig3a_energy(config: SweepConfig | None = None) -> EnergySweep:
+    """Run the Fig. 3(a) sweep: energy vs n for GHS / EOPT / Co-NNT."""
+    return sweep_energy(config)
+
+
+def fig3a_rows(sweep: EnergySweep) -> list[tuple]:
+    """Fig. 3(a) as printable rows: (n, E_GHS, E_EOPT, E_CoNNT, ...)."""
+    algs = sweep.config.algorithms
+    rows = []
+    for i, n in enumerate(sweep.ns):
+        rows.append((int(n),) + tuple(float(sweep.energy[a][i].mean()) for a in algs))
+    return rows
+
+
+def fig3a_plot(sweep: EnergySweep) -> str:
+    """ASCII rendition of Fig. 3(a)."""
+    series = {
+        a: (sweep.ns.astype(float), sweep.mean_energy(a))
+        for a in sweep.config.algorithms
+    }
+    return ascii_xy(
+        series,
+        title="Fig 3(a): energy vs n",
+        xlabel="n",
+        ylabel="energy",
+    )
+
+
+# -------------------------------------------------------------------- FIG3b
+
+def fig3b_slopes(
+    sweep: EnergySweep, *, min_n: int = 100
+) -> dict[str, FitResult]:
+    """Fit log(W) ~ log log n per algorithm (Fig. 3(b)).
+
+    Small n are excluded (``min_n``) exactly as one reads the asymptotic
+    slope off the right side of the paper's plot.  Expected slopes:
+    GHS ≈ 2, EOPT ≈ 1, Co-NNT ≈ 0.
+    """
+    mask = sweep.ns >= min_n
+    if mask.sum() < 2:
+        raise ExperimentError(f"need >= 2 sweep points with n >= {min_n}")
+    out = {}
+    for alg in sweep.config.algorithms:
+        out[alg] = fit_loglog_slope(sweep.ns[mask], sweep.mean_energy(alg)[mask])
+    return out
+
+
+def fig3b_plot(sweep: EnergySweep, *, min_n: int = 100) -> str:
+    """ASCII rendition of Fig. 3(b): log(energy) vs log log n."""
+    mask = sweep.ns >= min_n
+    series = {
+        a: (
+            np.log(np.log(sweep.ns[mask].astype(float))),
+            np.log(sweep.mean_energy(a)[mask]),
+        )
+        for a in sweep.config.algorithms
+    }
+    return ascii_xy(
+        series,
+        title="Fig 3(b): log(energy) vs loglog n",
+        xlabel="loglog n",
+        ylabel="log energy",
+    )

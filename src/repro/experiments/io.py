@@ -1,0 +1,136 @@
+"""JSON persistence for experiment results.
+
+Sweeps are expensive (hundreds of full distributed simulations at the
+paper's grid), so benches and downstream analyses need to save and reload
+them.  The schema is deliberately plain JSON — no pickle — so results are
+diffable and portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import EnergySweep
+
+SCHEMA_VERSION = 1
+
+
+def sweep_to_dict(sweep: EnergySweep) -> dict:
+    """Convert an :class:`EnergySweep` to plain JSON-serialisable data."""
+    cfg = sweep.config
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "energy_sweep",
+        "config": {
+            "ns": list(cfg.ns),
+            "seeds": list(cfg.seeds),
+            "algorithms": list(cfg.algorithms),
+            "ghs_radius_const": cfg.ghs_radius_const,
+            "eopt_c1": cfg.eopt_c1,
+            "eopt_c2": cfg.eopt_c2,
+            "eopt_beta": cfg.eopt_beta,
+        },
+        "energy": {a: sweep.energy[a].tolist() for a in cfg.algorithms},
+        "messages": {a: sweep.messages[a].tolist() for a in cfg.algorithms},
+        "rounds": {a: sweep.rounds[a].tolist() for a in cfg.algorithms},
+    }
+
+
+def sweep_from_dict(data: dict) -> EnergySweep:
+    """Inverse of :func:`sweep_to_dict` (validates the schema)."""
+    if data.get("kind") != "energy_sweep":
+        raise ExperimentError(f"not an energy_sweep payload: {data.get('kind')!r}")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ExperimentError(f"unsupported schema version {data.get('schema')!r}")
+    c = data["config"]
+    cfg = SweepConfig(
+        ns=tuple(c["ns"]),
+        seeds=tuple(c["seeds"]),
+        algorithms=tuple(c["algorithms"]),
+        ghs_radius_const=c["ghs_radius_const"],
+        eopt_c1=c["eopt_c1"],
+        eopt_c2=c["eopt_c2"],
+        eopt_beta=c["eopt_beta"],
+    )
+    shape = (len(cfg.ns), len(cfg.seeds))
+
+    def load(block: dict, dtype) -> dict[str, np.ndarray]:
+        out = {}
+        for alg in cfg.algorithms:
+            arr = np.asarray(block[alg], dtype=dtype)
+            if arr.shape != shape:
+                raise ExperimentError(
+                    f"array for {alg!r} has shape {arr.shape}, expected {shape}"
+                )
+            out[alg] = arr
+        return out
+
+    return EnergySweep(
+        config=cfg,
+        energy=load(data["energy"], float),
+        messages=load(data["messages"], np.int64),
+        rounds=load(data["rounds"], np.int64),
+    )
+
+
+def save_sweep(sweep: EnergySweep, path: str | Path) -> Path:
+    """Write a sweep to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(sweep_to_dict(sweep), indent=1))
+    return path
+
+
+def load_sweep(path: str | Path) -> EnergySweep:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+def result_to_dict(result: AlgorithmResult) -> dict:
+    """Serialise one algorithm run (tree + stats) to plain data."""
+    s = result.stats
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "algorithm_result",
+        "name": result.name,
+        "n": result.n,
+        "phases": result.phases,
+        "tree_edges": result.tree_edges.tolist(),
+        "extras": _jsonable(result.extras),
+        "stats": {
+            "energy_total": s.energy_total,
+            "messages_total": s.messages_total,
+            "rounds": s.rounds,
+            "energy_by_kind": s.energy_by_kind,
+            "messages_by_kind": s.messages_by_kind,
+            "energy_by_stage": s.energy_by_stage,
+            "messages_by_stage": s.messages_by_stage,
+            "rx_energy_total": s.rx_energy_total,
+            "receptions_total": s.receptions_total,
+        },
+    }
+
+
+def save_result(result: AlgorithmResult, path: str | Path) -> Path:
+    """Write one run's record to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=1))
+    return path
+
+
+def _jsonable(obj):
+    """Best-effort conversion of extras (numpy scalars/arrays) to JSON."""
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj

@@ -1,0 +1,50 @@
+"""Plain-text / markdown table formatting for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Format rows as an aligned text (or markdown) table."""
+    if not headers:
+        raise ExperimentError("table needs headers")
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ExperimentError(
+                f"row width {len(r)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    if markdown:
+        head = "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        body = [
+            "| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) + " |"
+            for r in str_rows
+        ]
+        return "\n".join([head, sep, *body])
+    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in str_rows]
+    return "\n".join([head, sep, *body])

@@ -1,0 +1,93 @@
+"""Seeded sweep execution.
+
+``run_algorithm`` is the single dispatch point from an algorithm label to
+a runner, so benches, tables and tests agree on what "GHS at n = 1000"
+means.  ``sweep_energy`` runs a full (algorithm x n x seed) grid and
+returns the energy tensor plus means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.algorithms.randnnt import run_randnnt
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.geometry.points import uniform_points
+
+
+def run_algorithm(
+    name: str, points: np.ndarray, config: SweepConfig | None = None
+) -> AlgorithmResult:
+    """Run the algorithm labelled ``name`` with the sweep's constants.
+
+    Accepted labels: ``"GHS"``, ``"MGHS"``, ``"EOPT"``, ``"Co-NNT"``,
+    ``"Rand-NNT"`` (the [15] baseline from the paper's Related Work).
+    """
+    cfg = config or SweepConfig()
+    if name == "GHS":
+        return run_ghs(points, radius_const=cfg.ghs_radius_const)
+    if name == "MGHS":
+        return run_modified_ghs(points, radius_const=cfg.ghs_radius_const)
+    if name == "EOPT":
+        return run_eopt(points, c1=cfg.eopt_c1, c2=cfg.eopt_c2, beta=cfg.eopt_beta)
+    if name == "Co-NNT":
+        return run_connt(points)
+    if name == "Rand-NNT":
+        return run_randnnt(points)
+    raise ExperimentError(f"unknown algorithm label {name!r}")
+
+
+@dataclass(frozen=True)
+class EnergySweep:
+    """Result of one (algorithm x n x seed) sweep.
+
+    ``energy[alg]`` has shape ``(len(ns), len(seeds))``; ``messages`` and
+    ``rounds`` likewise.  Means are over seeds.
+    """
+
+    config: SweepConfig
+    energy: dict[str, np.ndarray]
+    messages: dict[str, np.ndarray]
+    rounds: dict[str, np.ndarray]
+
+    @property
+    def ns(self) -> np.ndarray:
+        return np.asarray(self.config.ns, dtype=np.int64)
+
+    def mean_energy(self, alg: str) -> np.ndarray:
+        """Seed-mean energy per n for ``alg``."""
+        return self.energy[alg].mean(axis=1)
+
+    def mean_messages(self, alg: str) -> np.ndarray:
+        """Seed-mean message count per n for ``alg``."""
+        return self.messages[alg].mean(axis=1)
+
+
+def sweep_energy(config: SweepConfig | None = None) -> EnergySweep:
+    """Run the full sweep; every (n, seed) uses one shared point set.
+
+    Sharing the point set across algorithms matches the paper's setup
+    (all three algorithms measured on the same random instances) and
+    removes cross-algorithm sampling noise from the comparison.
+    """
+    cfg = config or SweepConfig()
+    shape = (len(cfg.ns), len(cfg.seeds))
+    energy = {a: np.zeros(shape) for a in cfg.algorithms}
+    messages = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
+    rounds = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
+    for i, n in enumerate(cfg.ns):
+        for j, seed in enumerate(cfg.seeds):
+            pts = uniform_points(n, seed=seed)
+            for alg in cfg.algorithms:
+                res = run_algorithm(alg, pts, cfg)
+                energy[alg][i, j] = res.energy
+                messages[alg][i, j] = res.messages
+                rounds[alg][i, j] = res.rounds
+    return EnergySweep(config=cfg, energy=energy, messages=messages, rounds=rounds)

@@ -1,0 +1,146 @@
+"""Generators for the paper's in-text tables and theorem empirics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.connt import run_connt
+from repro.errors import ExperimentError
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import giant_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.quality import tree_cost
+from repro.percolation.giant import analyze_percolation
+from repro.theory.bounds import (
+    knn_energy_need,
+    mst_energy_lower_bound,
+    spanning_tree_energy_lower_bound,
+)
+
+
+# ---------------------------------------------------------------------- TAB1
+
+#: The quality numbers quoted in Sec. VII, as (n -> (connt, mst)) pairs.
+PAPER_TAB1_EDGE_SUMS: dict[int, tuple[float, float]] = {
+    1000: (22.9, 20.8),
+    5000: (50.5, 46.3),
+}
+#: Sec. VII: "the sum of the squared edges of both Co-NNT and MST are
+#: constants ... 0.68 and 0.52, respectively".
+PAPER_TAB1_SQ_SUMS: tuple[float, float] = (0.68, 0.52)
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    """Co-NNT vs exact MST quality at one n (the Sec. VII comparison)."""
+
+    n: int
+    connt_edge_sum: float
+    mst_edge_sum: float
+    connt_sq_sum: float
+    mst_sq_sum: float
+
+    @property
+    def length_ratio(self) -> float:
+        """Co-NNT tree length relative to the optimum (paper: ~1.1)."""
+        return self.connt_edge_sum / self.mst_edge_sum
+
+
+def tab1_quality(
+    ns: tuple[int, ...] = (1000, 5000), seed: int = 0
+) -> list[QualityRow]:
+    """Measure the Sec. VII quality comparison on fresh uniform instances."""
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, seed=seed)
+        connt = run_connt(pts)
+        mst_edges, _ = euclidean_mst(pts)
+        rows.append(
+            QualityRow(
+                n=n,
+                connt_edge_sum=tree_cost(pts, connt.tree_edges, alpha=1.0),
+                mst_edge_sum=tree_cost(pts, mst_edges, alpha=1.0),
+                connt_sq_sum=tree_cost(pts, connt.tree_edges, alpha=2.0),
+                mst_sq_sum=tree_cost(pts, mst_edges, alpha=2.0),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- THM52
+
+@dataclass(frozen=True)
+class GiantRow:
+    """Thm 5.2 empirics at one n."""
+
+    n: int
+    radius: float
+    giant_fraction: float
+    second_component: int      # size of the largest non-giant component
+    max_small_region_nodes: int
+    beta_estimate: float       # max region nodes / log^2 n
+
+
+def thm52_giant(
+    ns: tuple[int, ...] = (500, 1000, 2000, 4000),
+    c1: float = 1.4,
+    seed: int = 0,
+) -> list[GiantRow]:
+    """Giant fraction and small-region sizes across n at r = c1 sqrt(1/n)."""
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, seed=seed)
+        rep = analyze_percolation(pts, giant_radius(n, c1))
+        rows.append(
+            GiantRow(
+                n=n,
+                radius=rep.radius,
+                giant_fraction=rep.giant_fraction,
+                second_component=rep.max_non_giant_component,
+                max_small_region_nodes=rep.max_small_region_nodes,
+                beta_estimate=rep.small_region_bound_constant(),
+            )
+        )
+    return rows
+
+
+# ------------------------------------------------------------------------ LB
+
+@dataclass(frozen=True)
+class LowerBoundRow:
+    """Thm 4.1 / Lemma 4.1 constants at one n."""
+
+    n: int
+    l_mst: float                 # Omega(1) bound: sum d^2 over EMST
+    knn_k: int
+    knn_min_energy: float        # min over nodes of d_k^2
+    lemma41_b: float             # empirical b with k/(b n) = knn_min_energy
+    omega_log_curve: float       # log n / pi reference
+
+
+def lower_bound_table(
+    ns: tuple[int, ...] = (500, 1000, 2000, 4000),
+    seed: int = 0,
+) -> list[LowerBoundRow]:
+    """Exhibit the lower-bound constants of Sec. IV on uniform instances."""
+    rows = []
+    for n in ns:
+        if n < 8:
+            raise ExperimentError("lower-bound table needs n >= 8")
+        pts = uniform_points(n, seed=seed)
+        k = max(2, int(np.ceil(np.log(n))))
+        need = knn_energy_need(pts, k)
+        min_energy = float(need.min())
+        rows.append(
+            LowerBoundRow(
+                n=n,
+                l_mst=mst_energy_lower_bound(pts),
+                knn_k=k,
+                knn_min_energy=min_energy,
+                lemma41_b=k / (n * min_energy) if min_energy > 0 else float("inf"),
+                omega_log_curve=spanning_tree_energy_lower_bound(n),
+            )
+        )
+    return rows

@@ -1,0 +1,66 @@
+"""Geometric substrate: point processes, metrics, rankings, potential regions.
+
+The paper's model (Sec. II) places ``n`` nodes uniformly at random in the
+unit square.  This subpackage provides:
+
+* :mod:`~repro.geometry.points` — point-set generators (uniform, Poisson,
+  perturbed grid, clustered) with seeded reproducibility;
+* :mod:`~repro.geometry.distance` — vectorised Euclidean / Chebyshev
+  distance kernels;
+* :mod:`~repro.geometry.ranks` — the diagonal ranking of Sec. VI and the
+  lexicographic ranking of Khan et al. used as an ablation baseline;
+* :mod:`~repro.geometry.potential` — potential region/distance/area/angle
+  analytics for a node (Fig. 2, Lemmas 6.1-6.3);
+* :mod:`~repro.geometry.radius` — the radius laws ``r1 = sqrt(c1/n)`` and
+  ``r2 = sqrt(c2 log n / n)`` used by the algorithms.
+"""
+
+from repro.geometry.points import (
+    uniform_points,
+    poisson_points,
+    perturbed_grid_points,
+    clustered_points,
+)
+from repro.geometry.distance import (
+    euclidean,
+    chebyshev,
+    pairwise_euclidean,
+    pairwise_sq_euclidean,
+    edge_lengths,
+)
+from repro.geometry.ranks import diagonal_ranks, lexicographic_ranks, rank_permutation
+from repro.geometry.potential import (
+    potential_distance,
+    potential_area,
+    potential_angle,
+    nearest_higher_rank_distance,
+)
+from repro.geometry.radius import (
+    connectivity_radius,
+    giant_radius,
+    PAPER_GHS_RADIUS_CONST,
+    PAPER_EOPT_STEP1_CONST,
+)
+
+__all__ = [
+    "uniform_points",
+    "poisson_points",
+    "perturbed_grid_points",
+    "clustered_points",
+    "euclidean",
+    "chebyshev",
+    "pairwise_euclidean",
+    "pairwise_sq_euclidean",
+    "edge_lengths",
+    "diagonal_ranks",
+    "lexicographic_ranks",
+    "rank_permutation",
+    "potential_distance",
+    "potential_area",
+    "potential_angle",
+    "nearest_higher_rank_distance",
+    "connectivity_radius",
+    "giant_radius",
+    "PAPER_GHS_RADIUS_CONST",
+    "PAPER_EOPT_STEP1_CONST",
+]

@@ -1,0 +1,56 @@
+"""Distance kernels.
+
+The simulator and the MST objective use the Euclidean metric; the
+percolation proof of the paper simplifies to the Chebyshev
+(max-coordinate) metric, which "affects energy bounds only up to a constant
+factor" (Sec. V-B).  Both are provided, fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def euclidean(p: np.ndarray, q: np.ndarray) -> float | np.ndarray:
+    """Euclidean distance between points (or broadcastable arrays of points)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    d = p - q
+    return np.sqrt(np.sum(d * d, axis=-1))
+
+
+def chebyshev(p: np.ndarray, q: np.ndarray) -> float | np.ndarray:
+    """Chebyshev (L-infinity) distance, as used in the percolation reduction."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    return np.max(np.abs(p - q), axis=-1)
+
+
+def pairwise_sq_euclidean(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` matrix of squared Euclidean distances.
+
+    Memory is O(n^2); intended for n up to a few thousand (brute-force MST
+    cross-checks, lower-bound computations).  Uses the
+    ``|p|^2 + |q|^2 - 2 p.q`` expansion with clipping for numerical safety.
+    """
+    pts = np.asarray(points, dtype=float)
+    sq = np.sum(pts * pts, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (pts @ pts.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def pairwise_euclidean(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` matrix of Euclidean distances (see memory note above)."""
+    return np.sqrt(pairwise_sq_euclidean(points))
+
+
+def edge_lengths(points: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Euclidean lengths of an ``(m, 2)`` integer edge list over ``points``."""
+    pts = np.asarray(points, dtype=float)
+    e = np.asarray(edges, dtype=np.int64)
+    if e.size == 0:
+        return np.zeros(0)
+    d = pts[e[:, 0]] - pts[e[:, 1]]
+    return np.sqrt(np.sum(d * d, axis=1))

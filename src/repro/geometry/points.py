@@ -1,0 +1,105 @@
+"""Point-process generators over the unit square.
+
+All generators accept either an integer seed or a ready-made
+:class:`numpy.random.Generator` and return an ``(n, 2)`` float64 array.
+The uniform process is the paper's workload; the Poisson process backs the
+percolation analysis (Sec. V-B replaces the uniform distribution by a
+Poisson one for its independence property); the perturbed-grid and
+clustered processes are stress workloads for the algorithms and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a Generator (fresh entropy when ``None``)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_points(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """``n`` i.i.d. uniform points in the unit square.
+
+    This is the node distribution assumed throughout the paper.
+    """
+    if n < 0:
+        raise GeometryError(f"n must be non-negative, got {n}")
+    return _rng(seed).random((n, 2))
+
+
+def poisson_points(
+    intensity: float, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """A homogeneous Poisson point process of the given ``intensity``.
+
+    The number of points is ``Poisson(intensity)`` and, conditioned on the
+    count, points are uniform — the standard equivalence the paper's
+    percolation proof leans on (processes ``P0``/``Pt`` in Sec. V-B).
+    """
+    if intensity < 0:
+        raise GeometryError(f"intensity must be non-negative, got {intensity}")
+    rng = _rng(seed)
+    count = int(rng.poisson(intensity))
+    return rng.random((count, 2))
+
+
+def perturbed_grid_points(
+    n: int, jitter: float = 0.25, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Roughly ``n`` points on a jittered square lattice.
+
+    A low-discrepancy workload: node density is near-deterministic, so the
+    RGG has no small components once ``r`` exceeds the lattice pitch.  Used
+    to exercise the algorithms away from the uniform assumption.
+
+    Parameters
+    ----------
+    jitter:
+        Perturbation amplitude as a fraction of the lattice pitch, in
+        ``[0, 0.5)`` so points cannot leave their cell.
+    """
+    if n < 0:
+        raise GeometryError(f"n must be non-negative, got {n}")
+    if not (0 <= jitter < 0.5):
+        raise GeometryError(f"jitter must be in [0, 0.5), got {jitter}")
+    if n == 0:
+        return np.zeros((0, 2))
+    rng = _rng(seed)
+    m = int(np.ceil(np.sqrt(n)))
+    pitch = 1.0 / m
+    ii, jj = np.meshgrid(np.arange(m), np.arange(m), indexing="ij")
+    centers = (np.stack([ii, jj], axis=-1).reshape(-1, 2) + 0.5) * pitch
+    noise = rng.uniform(-jitter * pitch, jitter * pitch, size=centers.shape)
+    pts = np.clip(centers + noise, 0.0, 1.0)
+    idx = rng.permutation(len(pts))[:n]
+    return pts[idx]
+
+
+def clustered_points(
+    n: int,
+    n_clusters: int = 5,
+    spread: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """``n`` points in Gaussian clusters, clipped to the unit square.
+
+    A worst-case-ish workload for the giant-component step: density is very
+    non-uniform, so a radius tuned for uniform points can leave many small
+    components.  Used in robustness tests and ablations.
+    """
+    if n < 0:
+        raise GeometryError(f"n must be non-negative, got {n}")
+    if n_clusters < 1:
+        raise GeometryError(f"n_clusters must be >= 1, got {n_clusters}")
+    if spread <= 0:
+        raise GeometryError(f"spread must be positive, got {spread}")
+    rng = _rng(seed)
+    centers = rng.random((n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n)
+    pts = centers[assignment] + rng.normal(0.0, spread, size=(n, 2))
+    return np.clip(pts, 0.0, 1.0)

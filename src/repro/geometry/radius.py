@@ -1,0 +1,56 @@
+"""Transmission-radius laws from the paper.
+
+Two regimes matter:
+
+* the **giant-component radius** ``r1 = c * sqrt(1/n)`` (Thm 5.2): below the
+  connectivity threshold but above the percolation threshold, so whp a
+  unique giant component exists and all other components sit in small
+  regions of O(log^2 n) nodes;
+* the **connectivity radius** ``r2 = c * sqrt(log n / n)`` (Thm 5.1, after
+  Gupta-Kumar): for ``c^2 > 4`` (Euclidean: constant absorbed) the RGG is
+  connected whp.
+
+The experimental section fixes the constants to ``1.4`` and ``1.6``
+respectively; we expose those as module constants so benches and examples
+share them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GeometryError
+
+#: Radius multiplier used for GHS and for EOPT's step 2 in the paper's
+#: experiments (Sec. VII): ``r = 1.6 sqrt(ln n / n)``.
+PAPER_GHS_RADIUS_CONST: float = 1.6
+
+#: Radius multiplier for EOPT's step 1 in the paper's experiments:
+#: ``r = 1.4 sqrt(1/n)`` — enough for a giant component to appear.
+PAPER_EOPT_STEP1_CONST: float = 1.4
+
+
+def connectivity_radius(n: int, c: float = PAPER_GHS_RADIUS_CONST) -> float:
+    """``c * sqrt(ln n / n)`` — the connectivity-regime radius.
+
+    For ``n <= 1`` there is nothing to connect; returns the unit-square
+    diameter so a degenerate graph is trivially "connected".
+    """
+    if n < 0:
+        raise GeometryError(f"n must be non-negative, got {n}")
+    if c <= 0:
+        raise GeometryError(f"radius constant must be positive, got {c}")
+    if n <= 1:
+        return math.sqrt(2.0)
+    return min(c * math.sqrt(math.log(n) / n), math.sqrt(2.0))
+
+
+def giant_radius(n: int, c: float = PAPER_EOPT_STEP1_CONST) -> float:
+    """``c * sqrt(1/n)`` — the giant-component-regime radius."""
+    if n < 0:
+        raise GeometryError(f"n must be non-negative, got {n}")
+    if c <= 0:
+        raise GeometryError(f"radius constant must be positive, got {c}")
+    if n == 0:
+        return math.sqrt(2.0)
+    return min(c * math.sqrt(1.0 / n), math.sqrt(2.0))

@@ -1,0 +1,67 @@
+"""Node rankings for nearest-neighbour trees.
+
+Section VI of the paper orders nodes by the *diagonal* rule::
+
+    rank(u) < rank(v)  iff  (x_u + y_u, y_u) < (x_v + y_v, y_v)   (lexicographic)
+
+so the "potential region" of every node — where it must find a
+higher-ranked node — is the half-plane above the diagonal through it, whose
+potential angle is at least 1/2 radian (Lemma 6.1).  The earlier paper of
+Khan et al. ordered lexicographically by ``(x, y)``, which strands a few
+nodes far from any higher-ranked node; we implement both so the ablation
+bench (ABL-K in DESIGN.md) can compare them.
+
+Ranks are returned as a dense permutation: ``ranks[i]`` is the rank of node
+``i``, with 0 the lowest and ``n-1`` the highest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def _dense_ranks_from_order(order: np.ndarray) -> np.ndarray:
+    """Invert an argsort: ranks[order[k]] = k."""
+    ranks = np.empty(len(order), dtype=np.int64)
+    ranks[order] = np.arange(len(order))
+    return ranks
+
+
+def diagonal_ranks(points: np.ndarray) -> np.ndarray:
+    """Ranks under the paper's diagonal ordering (Sec. VI).
+
+    ``rank(u) < rank(v)`` iff ``x_u+y_u < x_v+y_v``, ties broken by smaller
+    ``y`` (and, for robustness on degenerate inputs, by node index — the
+    paper assumes no two nodes share coordinates, which holds a.s.).
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"points must have shape (n, 2), got {pts.shape}")
+    s = pts[:, 0] + pts[:, 1]
+    order = np.lexsort((np.arange(len(pts)), pts[:, 1], s))
+    return _dense_ranks_from_order(order)
+
+
+def lexicographic_ranks(points: np.ndarray) -> np.ndarray:
+    """Ranks under the Khan-et-al. ``(x, y)`` lexicographic ordering."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"points must have shape (n, 2), got {pts.shape}")
+    order = np.lexsort((np.arange(len(pts)), pts[:, 1], pts[:, 0]))
+    return _dense_ranks_from_order(order)
+
+
+def rank_permutation(ranks: np.ndarray) -> np.ndarray:
+    """Return ``order`` such that ``order[k]`` is the node with rank ``k``.
+
+    The inverse of the dense-rank arrays produced by the functions above.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    n = len(ranks)
+    if n and (ranks.min() != 0 or ranks.max() != n - 1 or len(np.unique(ranks)) != n):
+        raise GeometryError("ranks must be a permutation of 0..n-1")
+    order = np.empty(n, dtype=np.int64)
+    order[ranks] = np.arange(n)
+    return order

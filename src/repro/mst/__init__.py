@@ -1,0 +1,37 @@
+"""Centralized (reference) spanning-tree constructions and tree metrics.
+
+These are the ground-truth oracles the distributed algorithms are verified
+and scored against:
+
+* :func:`~repro.mst.kruskal.kruskal_mst` / :func:`~repro.mst.prim.prim_mst`
+  — textbook MST over an explicit edge list / adjacency;
+* :func:`~repro.mst.delaunay.euclidean_mst` — exact Euclidean MST in
+  O(n log n) via the Delaunay-containment property;
+* :func:`~repro.mst.nnt.nearest_neighbor_tree` — the centralized NNT for
+  any ranking (the tree Co-NNT builds distributively);
+* :mod:`~repro.mst.quality` — spanning/acyclicity verification, tree costs
+  ``sum d^alpha``, approximation ratios.
+"""
+
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.mst.delaunay import euclidean_mst, delaunay_edges
+from repro.mst.nnt import nearest_neighbor_tree
+from repro.mst.quality import (
+    verify_spanning_tree,
+    tree_cost,
+    approximation_ratio,
+    same_tree,
+)
+
+__all__ = [
+    "kruskal_mst",
+    "prim_mst",
+    "euclidean_mst",
+    "delaunay_edges",
+    "nearest_neighbor_tree",
+    "verify_spanning_tree",
+    "tree_cost",
+    "approximation_ratio",
+    "same_tree",
+]

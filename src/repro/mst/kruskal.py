@@ -1,0 +1,72 @@
+"""Kruskal's algorithm over an explicit weighted edge list.
+
+This is the workhorse the exact-EMST routine feeds Delaunay edges into.
+Works on any edge list, connected or not (returns a spanning forest).
+Deterministic: ties are broken by the ``(weight, u, v)`` lexicographic key,
+matching the globally-consistent edge ordering the distributed algorithms
+use, so centralized and distributed results are comparable edge-for-edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ds.unionfind import UnionFind
+from repro.errors import GraphError
+
+
+def kruskal_mst(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum spanning forest by Kruskal's algorithm.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (``0..n-1``).
+    edges:
+        ``(m, 2)`` int array of undirected edges.
+    weights:
+        ``(m,)`` edge weights.
+
+    Returns
+    -------
+    (tree_edges, tree_weights):
+        ``(k, 2)`` chosen edges (rows normalised to ``u < v``) and their
+        weights, where ``k = n - #components``.  Edges are returned in the
+        order they were added (ascending weight).
+    """
+    e = np.asarray(edges, dtype=np.int64)
+    w = np.asarray(weights, dtype=float)
+    if e.ndim != 2 or (e.size and e.shape[1] != 2):
+        raise GraphError(f"edges must have shape (m, 2), got {e.shape}")
+    if len(e) != len(w):
+        raise GraphError(f"{len(e)} edges but {len(w)} weights")
+    if e.size and (e.min() < 0 or e.max() >= n):
+        raise GraphError("edge endpoint out of range")
+
+    if len(e) == 0:
+        return np.zeros((0, 2), dtype=np.int64), np.zeros(0)
+
+    lo = np.minimum(e[:, 0], e[:, 1])
+    hi = np.maximum(e[:, 0], e[:, 1])
+    order = np.lexsort((hi, lo, w))
+
+    uf = UnionFind(n)
+    out_edges: list[tuple[int, int]] = []
+    out_w: list[float] = []
+    for idx in order:
+        u, v = int(lo[idx]), int(hi[idx])
+        if u == v:
+            continue  # self-loops can never join components
+        if uf.union(u, v):
+            out_edges.append((u, v))
+            out_w.append(float(w[idx]))
+            if uf.n_components == 1:
+                break
+    return (
+        np.array(out_edges, dtype=np.int64).reshape(-1, 2),
+        np.array(out_w, dtype=float),
+    )

@@ -1,0 +1,111 @@
+"""Centralized nearest-neighbour tree (NNT) construction.
+
+The NNT under a ranking connects every node (except the top-ranked one) to
+its *nearest higher-ranked* node.  With the diagonal ranking this is
+exactly the tree the distributed Co-NNT protocol of Sec. VI builds; the
+centralized construction here is the oracle the protocol is verified
+against, and the object whose quality TAB1 measures.
+
+The construction is always a tree: orienting each edge from lower to
+higher rank gives every non-top node out-degree exactly 1 and edges only
+point "uphill" in rank, so no cycle can close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.potential import nearest_higher_rank_distance
+from repro.geometry.ranks import diagonal_ranks
+from scipy.spatial import cKDTree
+
+
+def nearest_neighbor_tree(
+    points: np.ndarray,
+    ranks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the NNT of ``points`` under ``ranks`` (default: diagonal).
+
+    Returns ``(edges, lengths)``: ``(n-1, 2)`` undirected edges normalised
+    to ``u < v`` plus Euclidean lengths.  Row ``k`` is the connection made
+    by the node of rank ``k`` (ranks ``0..n-2``; the top node connects to
+    nobody).
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"points must have shape (n, 2), got {pts.shape}")
+    n = len(pts)
+    if n <= 1:
+        return np.zeros((0, 2), dtype=np.int64), np.zeros(0)
+    r = diagonal_ranks(pts) if ranks is None else np.asarray(ranks, dtype=np.int64)
+    if len(r) != n:
+        raise GeometryError("ranks length does not match points")
+
+    target = nearest_higher_rank_target(pts, r)
+    order = np.empty(n, dtype=np.int64)
+    order[r] = np.arange(n)
+    rows = []
+    lens = []
+    for rank_k in range(n - 1):
+        u = int(order[rank_k])
+        v = int(target[u])
+        d = pts[u] - pts[v]
+        rows.append((min(u, v), max(u, v)))
+        lens.append(float(np.sqrt(d @ d)))
+    return np.array(rows, dtype=np.int64), np.array(lens, dtype=float)
+
+
+def nearest_higher_rank_target(
+    points: np.ndarray, ranks: np.ndarray, *, initial_k: int = 16
+) -> np.ndarray:
+    """For each node, the id of its nearest higher-ranked node (-1 for top).
+
+    Same expanding KD-tree query as
+    :func:`repro.geometry.potential.nearest_higher_rank_distance`, but
+    returning node ids instead of distances.  Exact distance ties are
+    broken by the *smallest node id* — the same deterministic rule the
+    Co-NNT protocol applies to its replies, so the centralized oracle and
+    the distributed tree agree even on degenerate (lattice) inputs.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    tree = cKDTree(pts)
+    out = np.full(n, -1, dtype=np.int64)
+    unresolved = np.arange(n)
+    k = min(initial_k, n)
+    while len(unresolved):
+        dists, idxs = tree.query(pts[unresolved], k=k)
+        if k == 1:
+            dists = dists[:, None]
+            idxs = idxs[:, None]
+        higher = ranks[idxs] > ranks[unresolved][:, None]
+        found_rows = np.nonzero(higher.any(axis=1))[0]
+        for row in found_rows:
+            mask = higher[row]
+            dmin = dists[row][mask].min()
+            # A tie at the boundary of the k-window could hide an equal-
+            # distance smaller id just outside it; only resolve when the
+            # minimum is strictly inside the window (or the window is full).
+            if k < n and dmin == dists[row][-1]:
+                continue
+            tied = mask & (dists[row] == dmin)
+            out[unresolved[row]] = idxs[row][tied].min()
+        unresolved = unresolved[out[unresolved] == -1]
+        if k == n:
+            break
+        k = min(2 * k, n)
+    return out
+
+
+def nnt_edge_lengths(points: np.ndarray, ranks: np.ndarray | None = None) -> np.ndarray:
+    """Lengths of all NNT connection edges (one per non-top node).
+
+    Convenience wrapper over
+    :func:`~repro.geometry.potential.nearest_higher_rank_distance` that
+    drops the top node's ``inf``.
+    """
+    d = nearest_higher_rank_distance(points, ranks)
+    return d[np.isfinite(d)]

@@ -1,0 +1,90 @@
+"""Tree verification and quality metrics.
+
+The paper scores trees by ``cost_alpha(T) = sum_{(u,v) in T} d(u,v)^alpha``
+(Sec. II): ``alpha = 1`` is the Euclidean MST objective, ``alpha = 2`` the
+energy objective.  Kruskal's exchange argument shows one tree minimises
+both simultaneously, which the tests verify empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ds.unionfind import UnionFind
+from repro.errors import CycleError, GraphError, NotSpanningError
+from repro.geometry.distance import edge_lengths
+
+
+def verify_spanning_tree(n: int, edges: np.ndarray, *, forest_ok: bool = False) -> None:
+    """Raise unless ``edges`` forms a spanning tree of ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        ``(k, 2)`` int array.
+    forest_ok:
+        If ``True``, accept any acyclic edge set (spanning forest); only
+        cycles and out-of-range endpoints are errors then.
+
+    Raises
+    ------
+    CycleError
+        If the edge set contains a cycle (including duplicate edges).
+    NotSpanningError
+        If acyclic but not spanning (and ``forest_ok`` is False).
+    GraphError
+        If an endpoint is out of range or an edge is a self-loop.
+    """
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size and (e.min() < 0 or e.max() >= n):
+        raise GraphError("edge endpoint out of range")
+    uf = UnionFind(n)
+    for u, v in e:
+        u, v = int(u), int(v)
+        if u == v:
+            raise GraphError(f"self-loop at node {u}")
+        if not uf.union(u, v):
+            raise CycleError(f"edge ({u}, {v}) closes a cycle")
+    if not forest_ok and n > 0 and uf.n_components != 1:
+        raise NotSpanningError(
+            f"edge set leaves {uf.n_components} components (expected 1)"
+        )
+
+
+def tree_cost(points: np.ndarray, edges: np.ndarray, alpha: float = 1.0) -> float:
+    """``sum over edges of d(u,v)^alpha`` — the paper's tree objective."""
+    if alpha <= 0:
+        raise GraphError(f"alpha must be positive, got {alpha}")
+    lengths = edge_lengths(points, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    if len(lengths) == 0:
+        return 0.0
+    return float(np.sum(lengths**alpha))
+
+
+def approximation_ratio(
+    points: np.ndarray,
+    tree_edges: np.ndarray,
+    optimal_edges: np.ndarray,
+    alpha: float = 1.0,
+) -> float:
+    """Cost ratio of a candidate tree against the optimum (>= 1 for MSTs)."""
+    opt = tree_cost(points, optimal_edges, alpha)
+    got = tree_cost(points, tree_edges, alpha)
+    if opt == 0.0:
+        return 1.0 if got == 0.0 else float("inf")
+    return got / opt
+
+
+def same_tree(edges_a: np.ndarray, edges_b: np.ndarray) -> bool:
+    """``True`` iff two edge sets are equal as sets of undirected edges."""
+    a = np.asarray(edges_a, dtype=np.int64).reshape(-1, 2)
+    b = np.asarray(edges_b, dtype=np.int64).reshape(-1, 2)
+    if len(a) != len(b):
+        return False
+    if len(a) == 0:
+        return True
+    a = np.unique(np.sort(a, axis=1), axis=0)
+    b = np.unique(np.sort(b, axis=1), axis=0)
+    return a.shape == b.shape and bool(np.all(a == b))

@@ -1,0 +1,32 @@
+"""Site-percolation analytics behind Theorem 5.2.
+
+The paper proves the giant-component property by reducing the RGG at
+radius ``r = sqrt(c1/n)`` to site percolation on a grid of ``r/2``-side
+cells: a cell is *good* when it holds at least ``c1/8`` nodes; any two
+nodes in 4-adjacent cells are within ``r`` (Chebyshev), so a cluster of
+good cells is one connected component of nodes.  In the supercritical
+phase there is one giant cluster whose complement splits into small
+regions of O(log^2 n) sites.
+
+This subpackage measures all of that empirically: good-cell masks, cluster
+labelings, giant fraction, and the small-region node counts that EOPT's
+step 2 relies on (FIG1 / THM52 benches).
+"""
+
+from repro.percolation.cells import occupancy_grid, good_cell_mask, expected_cell_count
+from repro.percolation.giant import (
+    PercolationReport,
+    analyze_percolation,
+    giant_fraction,
+    small_region_node_counts,
+)
+
+__all__ = [
+    "occupancy_grid",
+    "good_cell_mask",
+    "expected_cell_count",
+    "PercolationReport",
+    "analyze_percolation",
+    "giant_fraction",
+    "small_region_node_counts",
+]

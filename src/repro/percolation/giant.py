@@ -1,0 +1,144 @@
+"""Giant-component and small-region statistics (Thm 5.2 empirics).
+
+Two complementary views are measured:
+
+* the **graph view** — actual connected components of the RGG at radius
+  ``r``: size of the largest, sizes of the rest;
+* the **cell view** — clusters of good cells; the complement of the
+  largest good cluster splits into *small regions*, and every non-giant
+  node component is trapped inside one (Fig. 1(b)).
+
+Theorem 5.2 predicts giant size Θ(n) and max small-region node count
+``<= beta log^2 n``; :class:`PercolationReport` carries everything the
+THM52 bench needs to check both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ds.grid import CellGrid
+from repro.percolation.cells import good_cell_mask, occupancy_grid
+from repro.rgg.build import build_rgg
+from repro.rgg.components import component_sizes
+
+
+@dataclass(frozen=True)
+class PercolationReport:
+    """Everything measured about one (points, radius) percolation instance."""
+
+    n: int
+    radius: float
+    #: side of the percolation cells (= radius / 2, clipped to 1)
+    cell_side: float
+    #: fraction of nodes inside the largest RGG component
+    giant_fraction: float
+    #: sizes of all RGG components, descending
+    component_sizes: np.ndarray = field(repr=False)
+    #: fraction of cells that are good
+    good_cell_fraction: float
+    #: number of good-cell clusters
+    n_good_clusters: int
+    #: size in cells of the largest good cluster
+    largest_good_cluster_cells: int
+    #: node counts of the small regions (complement clusters), descending
+    small_region_nodes: np.ndarray = field(repr=False)
+
+    @property
+    def max_small_region_nodes(self) -> int:
+        """Largest node population among the cell-view small regions.
+
+        Note: at the paper's experimental constant (c1 = 1.4) the r/2-cell
+        lattice is *subcritical* (mean cell occupancy c1^2/4 < 1 while the
+        site-percolation threshold needs p > 0.593), so this cell-view
+        quantity is only meaningful for larger c — the regime the proof of
+        Thm 5.2 actually operates in.  For the paper's constants use
+        :attr:`max_non_giant_component` instead.
+        """
+        if len(self.small_region_nodes) == 0:
+            return 0
+        return int(self.small_region_nodes[0])
+
+    @property
+    def max_non_giant_component(self) -> int:
+        """Largest component other than the giant (graph view; 0 if none).
+
+        Thm 5.2's observable consequence: this is O(log^2 n).
+        """
+        if len(self.component_sizes) < 2:
+            return 0
+        return int(self.component_sizes[1])
+
+    def small_region_bound_constant(self) -> float:
+        """Empirical ``beta`` such that the largest non-giant component has
+        ``beta log^2 n`` nodes.  Thm 5.2 asserts this stays bounded."""
+        if self.n < 3:
+            return 0.0
+        return self.max_non_giant_component / (np.log(self.n) ** 2)
+
+
+def giant_fraction(points: np.ndarray, radius: float) -> float:
+    """Fraction of nodes in the largest RGG component at ``radius``."""
+    pts = np.asarray(points, dtype=float)
+    if len(pts) == 0:
+        return 0.0
+    sizes = component_sizes(build_rgg(pts, radius))
+    return float(sizes[0]) / len(pts)
+
+
+def small_region_node_counts(
+    grid: CellGrid, good: np.ndarray
+) -> tuple[np.ndarray, int, int]:
+    """Node counts of complement regions of the largest good cluster.
+
+    Returns ``(region_node_counts_desc, n_good_clusters, largest_cluster_cells)``.
+
+    A *small region* is a maximal 8-connected cluster of cells outside the
+    largest good-cell cluster (8-connectivity for the complement is the
+    standard matching-lattice convention for 4-connected site percolation —
+    it guarantees complement regions are bounded by good-cell circuits).
+    """
+    labels = grid.label_clusters(good, connectivity=4)
+    sizes = grid.cluster_sizes(labels)
+    if len(sizes) == 0:
+        # No good cells: the whole square is one small region.
+        total_nodes = int(grid.counts.sum())
+        return np.array([total_nodes], dtype=np.int64), 0, 0
+    largest_label = int(np.argmax(sizes)) + 1
+    complement = labels != largest_label
+    comp_labels = grid.label_clusters(complement, connectivity=8)
+    k = int(comp_labels.max())
+    counts = grid.counts
+    region_nodes = np.zeros(k, dtype=np.int64)
+    for lab in range(1, k + 1):
+        region_nodes[lab - 1] = int(counts[comp_labels == lab].sum())
+    region_nodes = np.sort(region_nodes)[::-1]
+    return region_nodes, len(sizes), int(sizes.max())
+
+
+def analyze_percolation(
+    points: np.ndarray,
+    radius: float,
+    good_threshold: float | None = None,
+) -> PercolationReport:
+    """Full percolation report for one instance (graph + cell views)."""
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    grid = occupancy_grid(pts, radius)
+    good = good_cell_mask(grid, good_threshold)
+    region_nodes, n_clusters, largest_cells = small_region_node_counts(grid, good)
+    sizes = component_sizes(build_rgg(pts, radius))
+    gf = float(sizes[0]) / n if n else 0.0
+    return PercolationReport(
+        n=n,
+        radius=float(radius),
+        cell_side=grid.side,
+        giant_fraction=gf,
+        component_sizes=sizes,
+        good_cell_fraction=float(good.mean()) if good.size else 0.0,
+        n_good_clusters=n_clusters,
+        largest_good_cluster_cells=largest_cells,
+        small_region_nodes=region_nodes,
+    )

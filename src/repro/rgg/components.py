@@ -1,0 +1,71 @@
+"""Connected-component analysis for geometric graphs.
+
+Thin wrappers over a union-find sweep of the edge list — O(m alpha(n)) — so
+no scipy dependency is needed on this hot path.  The percolation module
+uses these to find the giant component (Thm 5.2 empirics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ds.unionfind import UnionFind
+from repro.rgg.build import GeometricGraph
+
+
+def component_labels(graph: GeometricGraph) -> np.ndarray:
+    """Label array: ``labels[u]`` is a component id in ``0..k-1``.
+
+    Component ids are assigned in order of first appearance by node id, so
+    the labeling is deterministic.
+    """
+    uf = UnionFind(graph.n)
+    for u, v in graph.edges:
+        uf.union(int(u), int(v))
+    labels = np.empty(graph.n, dtype=np.int64)
+    seen: dict[int, int] = {}
+    for i in range(graph.n):
+        root = uf.find(i)
+        if root not in seen:
+            seen[root] = len(seen)
+        labels[i] = seen[root]
+    return labels
+
+
+def connected_components(graph: GeometricGraph) -> list[np.ndarray]:
+    """List of components, each an ascending array of node ids.
+
+    Ordered by first node id, i.e. components()[0] contains node 0.
+    """
+    labels = component_labels(graph)
+    k = int(labels.max()) + 1 if graph.n else 0
+    return [np.nonzero(labels == c)[0] for c in range(k)]
+
+
+def component_sizes(graph: GeometricGraph) -> np.ndarray:
+    """Sizes of all components, descending."""
+    labels = component_labels(graph)
+    if graph.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.sort(sizes)[::-1]
+
+
+def is_connected(graph: GeometricGraph) -> bool:
+    """``True`` iff the graph has at most one component (and >= 0 nodes)."""
+    if graph.n <= 1:
+        return True
+    uf = UnionFind(graph.n)
+    for u, v in graph.edges:
+        uf.union(int(u), int(v))
+        if uf.n_components == 1:
+            return True
+    return uf.n_components == 1
+
+
+def giant_component(graph: GeometricGraph) -> np.ndarray:
+    """Node ids of the largest component (ties: smallest first-node id)."""
+    comps = connected_components(graph)
+    if not comps:
+        return np.zeros(0, dtype=np.int64)
+    return max(comps, key=len)

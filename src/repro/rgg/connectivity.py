@@ -1,0 +1,73 @@
+"""Connectivity-threshold estimation for random geometric graphs.
+
+Theorem 5.1 (after Gupta–Kumar) says ``r = sqrt(c log n / n)`` with
+``c > 4`` (Chebyshev; constant differs for Euclidean) connects the RGG whp.
+These helpers measure where the threshold actually falls for finite ``n`` —
+used by tests and by the THM52/ABL-R benches to sanity-check the constants
+the paper picked (1.4 and 1.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.rgg.build import build_rgg
+from repro.rgg.components import is_connected
+
+
+def critical_connectivity_radius(points: np.ndarray) -> float:
+    """Smallest radius at which the RGG over ``points`` is connected.
+
+    This equals the longest edge of the Euclidean MST; we compute it as the
+    bottleneck of a Prim sweep over KD-tree neighbourhoods, i.e. binary
+    search over candidate radii from the MST edge set.  Implementation:
+    compute the exact EMST (Delaunay-restricted Kruskal) and return its
+    maximum edge length.
+    """
+    from repro.mst.delaunay import euclidean_mst  # local import: avoid cycle
+
+    pts = np.asarray(points, dtype=float)
+    if len(pts) <= 1:
+        return 0.0
+    _, lengths = euclidean_mst(pts)
+    return float(lengths.max())
+
+
+def connectivity_probability(
+    n: int,
+    radius: float,
+    trials: int = 20,
+    seed: int = 0,
+) -> float:
+    """Empirical probability that a uniform-``n`` RGG at ``radius`` connects.
+
+    Runs ``trials`` independent draws with seeds ``seed, seed+1, ...``.
+    """
+    if trials <= 0:
+        raise GeometryError(f"trials must be positive, got {trials}")
+    hits = 0
+    for t in range(trials):
+        pts = uniform_points(n, seed=seed + t)
+        if is_connected(build_rgg(pts, radius)):
+            hits += 1
+    return hits / trials
+
+
+def kth_nearest_distances(points: np.ndarray, k: int) -> np.ndarray:
+    """Distance from every point to its ``k``-th nearest neighbour.
+
+    Lemma 4.1 empirics: for uniform points the ``k``-th-NN distance squared
+    concentrates around ``k / (pi n)``, which is what makes talking to your
+    ``k`` closest neighbours cost ``Omega(k/n)`` energy.
+    """
+    pts = np.asarray(points, dtype=float)
+    if k < 1:
+        raise GeometryError(f"k must be >= 1, got {k}")
+    if k >= len(pts):
+        raise GeometryError(f"k={k} must be < n={len(pts)}")
+    tree = cKDTree(pts)
+    dists, _ = tree.query(pts, k=k + 1)  # first hit is the point itself
+    return dists[:, k]

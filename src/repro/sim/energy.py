@@ -1,0 +1,115 @@
+"""Energy ledger and run statistics.
+
+Energy complexity (the paper's headline metric) is the sum over all
+transmitted messages of ``a d^alpha``.  The ledger tracks that total plus
+the breakdowns every experiment needs: per node, per message kind, and per
+*stage* (an algorithm-defined label such as ``"step1"`` / ``"step2"`` so
+EOPT's two steps can be audited against the Sec. V-C analysis).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class EnergyLedger:
+    """Mutable accumulator for message counts and energy."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self.energy_total: float = 0.0
+        self.messages_total: int = 0
+        self.energy_by_node = np.zeros(n_nodes)
+        self.energy_by_kind: dict[str, float] = defaultdict(float)
+        self.messages_by_kind: dict[str, int] = defaultdict(int)
+        self.energy_by_stage: dict[str, float] = defaultdict(float)
+        self.messages_by_stage: dict[str, int] = defaultdict(int)
+        # Reception-side accounting (paper Sec. VIII extension): tracked
+        # separately so ``energy_total`` remains the paper's TX-only metric.
+        self.rx_energy_total: float = 0.0
+        self.receptions_total: int = 0
+        self.rx_energy_by_node = np.zeros(n_nodes)
+
+    def charge(self, node: int, kind: str, stage: str, energy: float) -> None:
+        """Record one transmitted message by ``node`` costing ``energy``."""
+        self.energy_total += energy
+        self.messages_total += 1
+        self.energy_by_node[node] += energy
+        self.energy_by_kind[kind] += energy
+        self.messages_by_kind[kind] += 1
+        self.energy_by_stage[stage] += energy
+        self.messages_by_stage[stage] += 1
+
+    def charge_rx(self, node: int, energy: float) -> None:
+        """Record one reception by ``node`` (constant radio-listen cost)."""
+        self.rx_energy_total += energy
+        self.receptions_total += 1
+        self.rx_energy_by_node[node] += energy
+
+    def snapshot(self, rounds: int) -> "SimStats":
+        """Freeze the ledger into an immutable :class:`SimStats`."""
+        return SimStats(
+            energy_total=self.energy_total,
+            messages_total=self.messages_total,
+            rounds=rounds,
+            energy_by_kind=dict(self.energy_by_kind),
+            messages_by_kind=dict(self.messages_by_kind),
+            energy_by_stage=dict(self.energy_by_stage),
+            messages_by_stage=dict(self.messages_by_stage),
+            energy_by_node=self.energy_by_node.copy(),
+            rx_energy_total=self.rx_energy_total,
+            receptions_total=self.receptions_total,
+            rx_energy_by_node=self.rx_energy_by_node.copy(),
+        )
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Immutable statistics for one simulation run.
+
+    ``energy_total`` is the paper's transmit-side energy complexity;
+    ``rx_energy_total`` is the optional reception-cost extension
+    (Sec. VIII) and is zero unless the kernel was given an ``rx_cost``.
+    """
+
+    energy_total: float
+    messages_total: int
+    rounds: int
+    energy_by_kind: dict[str, float]
+    messages_by_kind: dict[str, int]
+    energy_by_stage: dict[str, float]
+    messages_by_stage: dict[str, int]
+    energy_by_node: np.ndarray = field(repr=False)
+    rx_energy_total: float = 0.0
+    receptions_total: int = 0
+    rx_energy_by_node: np.ndarray = field(default=None, repr=False)
+
+    @property
+    def total_energy_with_rx(self) -> float:
+        """Transmit plus reception energy (the extended model)."""
+        return self.energy_total + self.rx_energy_total
+
+    @property
+    def max_node_energy(self) -> float:
+        """Peak per-node energy — the battery-drain hotspot."""
+        if len(self.energy_by_node) == 0:
+            return 0.0
+        return float(self.energy_by_node.max())
+
+    def kind_table(self) -> list[tuple[str, int, float]]:
+        """``(kind, messages, energy)`` rows sorted by descending energy."""
+        rows = [
+            (k, self.messages_by_kind.get(k, 0), e)
+            for k, e in self.energy_by_kind.items()
+        ]
+        return sorted(rows, key=lambda r: -r[2])
+
+    def stage_table(self) -> list[tuple[str, int, float]]:
+        """``(stage, messages, energy)`` rows in stage-label order."""
+        return [
+            (s, self.messages_by_stage.get(s, 0), e)
+            for s, e in sorted(self.energy_by_stage.items())
+        ]

@@ -1,0 +1,235 @@
+"""The synchronous simulation kernel.
+
+Semantics (paper Sec. II):
+
+* Time advances in discrete rounds.  Messages sent in round ``t`` are
+  delivered at the start of round ``t+1``; handlers run sequentially in a
+  deterministic order (by recipient id, then send order), which is sound
+  because nodes cannot observe intra-round ordering in a synchronous
+  system.
+* ``unicast(dst, ...)`` models a directed transmission at exactly the
+  power needed to reach ``dst``: it costs ``a d(src,dst)^alpha`` and is
+  delivered to ``dst`` only (other nodes in range ignore it).
+* ``local_broadcast(R, ...)`` costs ``a R^alpha`` and is delivered to every
+  node within distance ``R`` of the sender.
+* Transmissions are capped by the kernel's ``max_radius`` (the maximum
+  power level); drivers may raise it between algorithm steps, modelling
+  the adaptive power control EOPT relies on.
+* No collisions/losses: every transmission succeeds (the paper defers
+  physical-interference modelling to future work; see DESIGN.md).
+
+The kernel also hosts the energy ledger and a KD-tree over node positions
+for broadcast delivery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import GeometryError, PowerLimitError, SimulationError
+from repro.sim.energy import EnergyLedger, SimStats
+from repro.sim.message import Message
+from repro.sim.node import NodeProcess
+from repro.sim.power import PathLossModel
+
+#: Relative slack on the max-power check, to absorb float rounding when a
+#: protocol transmits at exactly its discovered neighbour distance.
+_POWER_EPS = 1e-9
+
+
+class Context:
+    """Per-node facade over the kernel: the only API a node may use."""
+
+    __slots__ = ("_kernel", "_id")
+
+    def __init__(self, kernel: "SynchronousKernel", node_id: int) -> None:
+        self._kernel = kernel
+        self._id = node_id
+
+    # -- information a node legitimately has --------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Network size ``n`` (the paper lets nodes know a Theta(n) estimate)."""
+        return self._kernel.n
+
+    @property
+    def max_radius(self) -> float:
+        """Current maximum transmission radius (max power level)."""
+        return self._kernel.max_radius
+
+    @property
+    def coords(self) -> tuple[float, float]:
+        """Own coordinates — only for coordinate-aware algorithms (Sec. VI)."""
+        if not self._kernel.expose_coordinates:
+            raise SimulationError(
+                "this kernel was built without coordinate knowledge "
+                "(pass expose_coordinates=True for Sec. VI algorithms)"
+            )
+        x, y = self._kernel.points[self._id]
+        return float(x), float(y)
+
+    # -- communication -------------------------------------------------------
+
+    def unicast(self, dst: int, kind: str, *payload) -> None:
+        """Send a message to a specific node, at exactly the needed power."""
+        self._kernel._send_unicast(self._id, dst, kind, payload)
+
+    def local_broadcast(self, radius: float, kind: str, *payload) -> None:
+        """Transmit to every node within ``radius`` (one message, one charge)."""
+        self._kernel._send_broadcast(self._id, radius, kind, payload)
+
+
+class SynchronousKernel:
+    """Synchronous, collision-free message-passing simulator."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        max_radius: float,
+        power: PathLossModel | None = None,
+        *,
+        expose_coordinates: bool = False,
+        rx_cost: float = 0.0,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(f"points must have shape (n, 2), got {pts.shape}")
+        if max_radius <= 0:
+            raise GeometryError(f"max_radius must be positive, got {max_radius}")
+        if rx_cost < 0:
+            raise GeometryError(f"rx_cost must be non-negative, got {rx_cost}")
+        self.points = pts
+        self.n = len(pts)
+        self.max_radius = float(max_radius)
+        self.power = power or PathLossModel()
+        self.expose_coordinates = expose_coordinates
+        #: Constant energy a radio pays to receive one message (paper
+        #: Sec. VIII extension; 0 recovers the paper's TX-only model).
+        self.rx_cost = float(rx_cost)
+        self.nodes: list[NodeProcess] = []
+        self.ledger = EnergyLedger(self.n)
+        self.rounds = 0
+        self.stage = "main"
+        self._tree = cKDTree(pts) if self.n else None
+        #: deliveries scheduled for the next round: (dst, Message, distance)
+        self._pending: list[tuple[int, Message, float]] = []
+        self._started = False
+
+    # -- setup ----------------------------------------------------------------
+
+    def add_nodes(self, factory: Callable[[int, Context], NodeProcess]) -> None:
+        """Instantiate one process per point via ``factory(node_id, ctx)``."""
+        if self.nodes:
+            raise SimulationError("nodes already added")
+        self.nodes = [factory(i, Context(self, i)) for i in range(self.n)]
+
+    def set_max_radius(self, radius: float) -> None:
+        """Raise/lower the maximum power level (EOPT step transition)."""
+        if radius <= 0:
+            raise GeometryError(f"max_radius must be positive, got {radius}")
+        self.max_radius = float(radius)
+
+    def set_stage(self, label: str) -> None:
+        """Tag subsequent charges with ``label`` in the per-stage breakdown."""
+        self.stage = label
+
+    # -- sending (called through Context) --------------------------------------
+
+    def _check_power(self, src: int, radius: float) -> None:
+        if radius > self.max_radius * (1.0 + _POWER_EPS):
+            raise PowerLimitError(
+                f"node {src} attempted to transmit to distance {radius:.6g} "
+                f"beyond max radius {self.max_radius:.6g}"
+            )
+
+    def _send_unicast(self, src: int, dst: int, kind: str, payload: tuple) -> None:
+        if not (0 <= dst < self.n):
+            raise SimulationError(f"unicast to unknown node {dst}")
+        if dst == src:
+            raise SimulationError(f"node {src} attempted to unicast to itself")
+        d = self.points[src] - self.points[dst]
+        dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
+        self._check_power(src, dist)
+        self.ledger.charge(src, kind, self.stage, self.power.energy(dist))
+        self._pending.append((dst, Message(kind, src, dst, payload, dist), dist))
+
+    def _send_broadcast(self, src: int, radius: float, kind: str, payload: tuple) -> None:
+        if radius < 0:
+            raise GeometryError(f"broadcast radius must be non-negative, got {radius}")
+        radius = float(radius)
+        self._check_power(src, radius)
+        self.ledger.charge(src, kind, self.stage, self.power.energy(radius))
+        if self._tree is None:
+            return
+        msg = Message(kind, src, None, payload, radius)
+        recipients = self._tree.query_ball_point(self.points[src], radius)
+        src_pt = self.points[src]
+        pending = self._pending
+        for r in recipients:
+            if r == src:
+                continue
+            d = src_pt - self.points[r]
+            dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
+            pending.append((r, msg, dist))
+
+    # -- running -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Call ``on_start`` on every node (once)."""
+        if not self.nodes:
+            raise SimulationError("no nodes added; call add_nodes() first")
+        if self._started:
+            raise SimulationError("kernel already started")
+        self._started = True
+        for node in self.nodes:
+            node.on_start()
+
+    def wake(self, node_ids: Iterable[int] | Sequence[int], signal: str, payload: tuple = ()) -> None:
+        """Deliver a local driver signal to ``node_ids`` (no energy cost)."""
+        for nid in node_ids:
+            self.nodes[nid].on_wake(signal, payload)
+
+    def step(self) -> int:
+        """Deliver one round of messages; returns the number delivered."""
+        if not self._pending:
+            return 0
+        deliveries = self._pending
+        self._pending = []
+        # Deterministic order: recipients ascending, then send order.
+        deliveries.sort(key=lambda t: t[0])
+        nodes = self.nodes
+        rx = self.rx_cost
+        ledger = self.ledger
+        for dst, msg, dist in deliveries:
+            if rx:
+                ledger.charge_rx(dst, rx)
+            nodes[dst].on_message(msg, dist)
+        self.rounds += 1
+        return len(deliveries)
+
+    def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:
+        """Run rounds until no messages are in flight; returns rounds run."""
+        ran = 0
+        while self._pending:
+            self.step()
+            ran += 1
+            if ran > max_rounds:
+                raise SimulationError(
+                    f"no quiescence after {max_rounds} rounds — "
+                    "protocol is probably livelocked"
+                )
+        return ran
+
+    @property
+    def in_flight(self) -> int:
+        """Number of deliveries scheduled for the next round."""
+        return len(self._pending)
+
+    def stats(self) -> SimStats:
+        """Snapshot of the energy ledger and round count."""
+        return self.ledger.snapshot(self.rounds)

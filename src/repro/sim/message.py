@@ -1,0 +1,55 @@
+"""The message record exchanged between simulated nodes.
+
+Messages are deliberately minimal (``__slots__``, positional payload
+tuples): simulations at n = 5000 push through hundreds of thousands of
+messages, so per-message overhead matters (see the HPC guide's advice on
+allocation-light inner loops).
+
+The paper bounds message size at O(log n) bits; protocols in this repo
+respect that by construction (payloads are O(1) node ids / fragment ids /
+coordinates), and the tests assert it for each protocol's message kinds.
+"""
+
+from __future__ import annotations
+
+
+class Message:
+    """One transmitted message.
+
+    Attributes
+    ----------
+    kind:
+        Protocol-level message type (e.g. ``"TEST"``, ``"INITIATE"``).
+    src:
+        Sender node id.
+    dst:
+        Recipient node id for unicast, ``None`` for a local broadcast.
+    payload:
+        Positional payload tuple; meaning is defined by each protocol.
+    radius:
+        Transmission radius: the unicast distance or broadcast radius.
+        Set by the kernel at send time (this is what gets charged).
+    """
+
+    __slots__ = ("kind", "src", "dst", "payload", "radius")
+
+    def __init__(
+        self,
+        kind: str,
+        src: int,
+        dst: int | None,
+        payload: tuple,
+        radius: float,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.radius = radius
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = "*" if self.dst is None else self.dst
+        return (
+            f"Message({self.kind}, {self.src}->{target}, "
+            f"payload={self.payload!r}, radius={self.radius:.4g})"
+        )

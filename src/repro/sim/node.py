@@ -1,0 +1,54 @@
+"""Base class for simulated node processes.
+
+A protocol is written as a :class:`NodeProcess` subclass: the kernel calls
+``on_start`` once, ``on_message`` for every delivered message, and
+``on_wake`` for driver-issued local signals (phase starts, timer ticks —
+events a node in a synchronous system could derive from round counting, so
+they carry no information and no energy cost).
+
+Nodes must only use what they could know in the paper's model:
+
+* their own id (and coordinates, *only* when the kernel was built
+  coordinate-aware — Sec. VI algorithms);
+* the content of received messages plus the sender distance (the RSSI
+  assumption backing the modified GHS's neighbour distance lists);
+* local state they accumulated.
+
+Nothing in the API lets a node read another node's state or the topology.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Context
+
+
+class NodeProcess:
+    """One simulated processor.
+
+    Subclasses implement the three event handlers.  ``self.ctx`` is the
+    node's communication facade (:class:`~repro.sim.kernel.Context`).
+    """
+
+    __slots__ = ("id", "ctx")
+
+    def __init__(self, node_id: int, ctx: "Context") -> None:
+        self.id = node_id
+        self.ctx = ctx
+
+    def on_start(self) -> None:
+        """Called once before the first round."""
+
+    def on_message(self, msg: Message, distance: float) -> None:
+        """Called for every message delivered to this node.
+
+        ``distance`` is the physical sender distance (measurable at the
+        radio layer); protocols may store it.
+        """
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        """Called for a driver-issued local signal (no energy, no data)."""

@@ -1,0 +1,26 @@
+"""Analytic toolkit: lower bounds, tail bounds, scaling-law fits.
+
+Backs the LB bench (Thm 4.1 / Lemma 4.1 constants), the FIG3b slope
+extraction, and several property tests.
+"""
+
+from repro.theory.bounds import (
+    mst_energy_lower_bound,
+    knn_energy_need,
+    korach_message_bound,
+    spanning_tree_energy_lower_bound,
+)
+from repro.theory.chernoff import chernoff_upper_tail, poisson_upper_tail
+from repro.theory.scaling import fit_loglog_slope, fit_power_law, FitResult
+
+__all__ = [
+    "mst_energy_lower_bound",
+    "knn_energy_need",
+    "korach_message_bound",
+    "spanning_tree_energy_lower_bound",
+    "chernoff_upper_tail",
+    "poisson_upper_tail",
+    "fit_loglog_slope",
+    "fit_power_law",
+    "FitResult",
+]

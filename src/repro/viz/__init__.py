@@ -1,0 +1,10 @@
+"""Dependency-free SVG rendering of instances, trees and percolation grids.
+
+No matplotlib in the dependency set, so figures are emitted as SVG
+documents built by hand — enough to *look at* what the algorithms build
+(examples write these next to their console reports).
+"""
+
+from repro.viz.svg import SvgCanvas, render_instance, render_percolation
+
+__all__ = ["SvgCanvas", "render_instance", "render_percolation"]

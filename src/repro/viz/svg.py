@@ -1,0 +1,175 @@
+"""A minimal SVG writer and instance renderers.
+
+:class:`SvgCanvas` maps the unit square to pixel space (y flipped so the
+square's origin is bottom-left, as in the paper's figures) and collects
+shapes; renderers compose it into pictures of point sets + trees and of
+percolation cell grids.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+class SvgCanvas:
+    """Accumulates SVG shapes over the unit square.
+
+    Parameters
+    ----------
+    size:
+        Pixel width/height of the (square) canvas.
+    margin:
+        Pixel margin around the unit square.
+    """
+
+    def __init__(self, size: int = 600, margin: int = 20) -> None:
+        if size <= 0 or margin < 0 or 2 * margin >= size:
+            raise GeometryError(f"bad canvas geometry: size={size}, margin={margin}")
+        self.size = size
+        self.margin = margin
+        self._shapes: list[str] = []
+
+    # -- coordinate mapping ---------------------------------------------------
+
+    def px(self, x: float, y: float) -> tuple[float, float]:
+        """Unit-square coordinates -> pixel coordinates (y flipped)."""
+        span = self.size - 2 * self.margin
+        return (
+            self.margin + x * span,
+            self.size - self.margin - y * span,
+        )
+
+    # -- shapes -----------------------------------------------------------------
+
+    def circle(self, x: float, y: float, r_px: float, fill: str = "#1f77b4") -> None:
+        """A dot at unit-square position (x, y)."""
+        cx, cy = self.px(x, y)
+        self._shapes.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r_px:.2f}" '
+            f"fill={quoteattr(fill)}/>"
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "#888888",
+        width: float = 1.0,
+    ) -> None:
+        """A segment between two unit-square positions."""
+        a = self.px(x1, y1)
+        b = self.px(x2, y2)
+        self._shapes.append(
+            f'<line x1="{a[0]:.2f}" y1="{a[1]:.2f}" x2="{b[0]:.2f}" '
+            f'y2="{b[1]:.2f}" stroke={quoteattr(stroke)} '
+            f'stroke-width="{width:.2f}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str = "#dddddd",
+    ) -> None:
+        """An axis-aligned rectangle given in unit-square coordinates."""
+        x0, y0 = self.px(x, y + h)  # top-left in pixel space
+        span = self.size - 2 * self.margin
+        self._shapes.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{w * span:.2f}" '
+            f'height="{h * span:.2f}" fill={quoteattr(fill)}/>'
+        )
+
+    def text(self, x: float, y: float, s: str, size_px: int = 12) -> None:
+        """A text label at a unit-square position."""
+        cx, cy = self.px(x, y)
+        self._shapes.append(
+            f'<text x="{cx:.2f}" y="{cy:.2f}" font-size="{size_px}" '
+            f'font-family="sans-serif">{escape(s)}</text>'
+        )
+
+    # -- output -----------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """The complete SVG document."""
+        body = "\n".join(self._shapes)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.size}" '
+            f'height="{self.size}" viewBox="0 0 {self.size} {self.size}">\n'
+            f'<rect width="{self.size}" height="{self.size}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_string())
+        return path
+
+
+def render_instance(
+    points: np.ndarray,
+    edge_sets: dict[str, np.ndarray] | None = None,
+    *,
+    size: int = 600,
+    colors: tuple[str, ...] = ("#d62728", "#2ca02c", "#9467bd", "#ff7f0e"),
+    title: str = "",
+) -> SvgCanvas:
+    """Render a point set with zero or more named edge sets (trees).
+
+    Each edge set gets its own color; a legend is drawn top-left.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"points must have shape (n, 2), got {pts.shape}")
+    canvas = SvgCanvas(size=size)
+    for k, (name, edges) in enumerate((edge_sets or {}).items()):
+        color = colors[k % len(colors)]
+        for u, v in np.asarray(edges, dtype=np.int64).reshape(-1, 2):
+            canvas.line(*pts[u], *pts[v], stroke=color, width=1.2)
+        canvas.text(0.02, 0.97 - 0.035 * k, f"— {name}", size_px=12)
+    for x, y in pts:
+        canvas.circle(x, y, 2.0, fill="#1f77b4")
+    if title:
+        canvas.text(0.02, 0.02, title, size_px=13)
+    return canvas
+
+
+def render_percolation(
+    counts: np.ndarray,
+    good: np.ndarray,
+    giant_labels: np.ndarray | None = None,
+    *,
+    size: int = 600,
+) -> SvgCanvas:
+    """Render a percolation cell grid (the Fig. 1 picture).
+
+    Good cells are light gray; cells of the largest cluster (``label != 0``
+    in ``giant_labels``) dark; empty cells white.
+    """
+    counts = np.asarray(counts)
+    if counts.shape != np.asarray(good).shape:
+        raise GeometryError("counts and good masks must have the same shape")
+    m = counts.shape[0]
+    side = 1.0 / m
+    canvas = SvgCanvas(size=size)
+    for i in range(m):
+        for j in range(counts.shape[1]):
+            if giant_labels is not None and giant_labels[i, j]:
+                fill = "#444444"
+            elif good[i, j]:
+                fill = "#bbbbbb"
+            elif counts[i, j] > 0:
+                fill = "#eeeeee"
+            else:
+                continue
+            canvas.rect(i * side, j * side, side, side, fill=fill)
+    return canvas

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import uniform_points
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_points():
+    """A fixed 60-node uniform instance (connected at the default radius)."""
+    return uniform_points(60, seed=42)
+
+
+@pytest.fixture
+def medium_points():
+    """A fixed 200-node uniform instance."""
+    return uniform_points(200, seed=7)
+
+
+def brute_force_mst_cost(points: np.ndarray) -> float:
+    """O(n^2) reference MST length via networkx, for cross-checks."""
+    import networkx as nx
+
+    pts = np.asarray(points, dtype=float)
+    g = nx.Graph()
+    n = len(pts)
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(np.hypot(*(pts[i] - pts[j])))
+            g.add_edge(i, j, weight=d)
+    t = nx.minimum_spanning_tree(g)
+    return sum(d["weight"] for _, _, d in t.edges(data=True))

@@ -1,0 +1,200 @@
+"""Tests for the application layer (aggregation, broadcast, topology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.aggregation import (
+    direct_to_sink_energy,
+    orient_tree,
+    simulate_aggregation,
+)
+from repro.applications.broadcast import simulate_flooding, simulate_tree_broadcast
+from repro.applications.topology import local_mst_topology, topology_stats
+from repro.errors import GraphError
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import connectivity_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.quality import tree_cost
+from repro.rgg.build import build_rgg
+from repro.rgg.components import is_connected
+
+
+@pytest.fixture(scope="module")
+def instance():
+    pts = uniform_points(120, seed=0)
+    mst, _ = euclidean_mst(pts)
+    return pts, mst
+
+
+class TestOrientTree:
+    def test_parent_children_consistent(self, instance):
+        pts, mst = instance
+        parent, children = orient_tree(len(pts), mst, root=0)
+        assert parent[0] == -1
+        for u in range(len(pts)):
+            for c in children[u]:
+                assert parent[c] == u
+        # Every non-root has exactly one parent.
+        assert (parent[1:] >= 0).all()
+
+    def test_non_spanning_rejected(self):
+        with pytest.raises(GraphError):
+            orient_tree(3, np.array([[0, 1]]), root=0)
+
+
+class TestAggregation:
+    def test_sum(self, instance):
+        pts, mst = instance
+        vals = np.arange(len(pts), dtype=float)
+        result, stats = simulate_aggregation(pts, mst, sink=0, values=vals, op="sum")
+        assert result == pytest.approx(vals.sum())
+
+    def test_min_max(self, instance):
+        pts, mst = instance
+        vals = np.random.default_rng(1).normal(size=len(pts))
+        lo, _ = simulate_aggregation(pts, mst, sink=3, values=vals, op="min")
+        hi, _ = simulate_aggregation(pts, mst, sink=3, values=vals, op="max")
+        assert lo == pytest.approx(vals.min())
+        assert hi == pytest.approx(vals.max())
+
+    def test_avg(self, instance):
+        pts, mst = instance
+        vals = np.random.default_rng(2).random(len(pts))
+        avg, _ = simulate_aggregation(pts, mst, sink=5, values=vals, op="avg")
+        assert avg == pytest.approx(vals.mean())
+
+    def test_energy_equals_tree_cost(self, instance):
+        """One unicast per tree edge: energy = sum d^2 = L_MST."""
+        pts, mst = instance
+        vals = np.ones(len(pts))
+        _, stats = simulate_aggregation(pts, mst, sink=0, values=vals)
+        assert stats.energy_total == pytest.approx(tree_cost(pts, mst, alpha=2.0))
+        assert stats.messages_total == len(mst)
+
+    def test_beats_direct_to_sink(self, instance):
+        """The aggregation-over-MST motivation: Theta(1) vs Theta(n)."""
+        pts, mst = instance
+        _, stats = simulate_aggregation(pts, mst, sink=0, values=np.ones(len(pts)))
+        assert stats.energy_total < 0.25 * direct_to_sink_energy(pts, 0)
+
+    def test_validation(self, instance):
+        pts, mst = instance
+        with pytest.raises(GraphError):
+            simulate_aggregation(pts, mst, sink=0, values=np.ones(3))
+        with pytest.raises(GraphError):
+            simulate_aggregation(pts, mst, sink=-1, values=np.ones(len(pts)))
+        with pytest.raises(GraphError):
+            simulate_aggregation(
+                pts, mst, sink=0, values=np.ones(len(pts)), op="median"
+            )
+
+    def test_two_nodes(self):
+        pts = np.array([[0.0, 0.0], [0.6, 0.0]])
+        edges = np.array([[0, 1]])
+        result, stats = simulate_aggregation(pts, edges, 0, np.array([1.0, 2.0]))
+        assert result == 3.0
+        assert stats.energy_total == pytest.approx(0.36)
+
+    def test_direct_to_sink_validation(self):
+        with pytest.raises(GraphError):
+            direct_to_sink_energy(uniform_points(5), sink=9)
+
+
+class TestBroadcast:
+    def test_tree_broadcast_reaches_all(self, instance):
+        pts, mst = instance
+        reached, _ = simulate_tree_broadcast(pts, mst, source=0)
+        assert reached == len(pts)
+
+    def test_tree_broadcast_message_count(self, instance):
+        """One transmission per internal node (nodes with children)."""
+        pts, mst = instance
+        _, children = orient_tree(len(pts), mst, 0)
+        internal = sum(1 for c in children if c)
+        _, stats = simulate_tree_broadcast(pts, mst, source=0)
+        assert stats.messages_total == internal
+
+    def test_flooding_reaches_component(self):
+        pts = uniform_points(150, seed=3)
+        r = connectivity_radius(150)
+        if is_connected(build_rgg(pts, r)):
+            reached, stats = simulate_flooding(pts, r, source=0)
+            assert reached == 150
+            assert stats.energy_total == pytest.approx(150 * r * r)
+
+    def test_tree_broadcast_cheaper_than_flooding(self, instance):
+        pts, mst = instance
+        r = connectivity_radius(len(pts))
+        _, tree_stats = simulate_tree_broadcast(pts, mst, source=0)
+        _, flood_stats = simulate_flooding(pts, r, source=0)
+        assert tree_stats.energy_total < flood_stats.energy_total
+
+    def test_single_node(self):
+        pts = np.array([[0.5, 0.5]])
+        reached, stats = simulate_tree_broadcast(pts, np.zeros((0, 2)), 0)
+        assert reached == 1
+        assert stats.messages_total == 0
+
+    def test_validation(self, instance):
+        pts, mst = instance
+        with pytest.raises(GraphError):
+            simulate_tree_broadcast(pts, mst, source=len(pts))
+        with pytest.raises(GraphError):
+            simulate_flooding(pts, -0.1, source=0)
+
+
+class TestTopology:
+    def test_preserves_connectivity(self):
+        pts = uniform_points(150, seed=0)
+        g = build_rgg(pts, connectivity_radius(150))
+        assert is_connected(g)
+        backbone = local_mst_topology(g)
+        assert is_connected(backbone)
+
+    def test_degree_bound(self):
+        """LMST's classic guarantee: max degree <= 6."""
+        pts = uniform_points(200, seed=1)
+        g = build_rgg(pts, connectivity_radius(200))
+        backbone = local_mst_topology(g)
+        assert backbone.degrees().max() <= 6
+
+    def test_subset_of_input(self):
+        pts = uniform_points(100, seed=2)
+        g = build_rgg(pts, connectivity_radius(100))
+        backbone = local_mst_topology(g)
+        assert set(map(tuple, backbone.edges)) <= set(map(tuple, g.edges))
+
+    def test_contains_global_mst(self):
+        """Every EMST edge within radius survives LMST (it is in every
+        local MST of a neighbourhood containing it)."""
+        pts = uniform_points(120, seed=3)
+        g = build_rgg(pts, connectivity_radius(120))
+        backbone = local_mst_topology(g)
+        mst, lengths = euclidean_mst(pts)
+        kept = set(map(tuple, backbone.edges))
+        for (u, v), d in zip(mst, lengths):
+            if d <= g.radius:
+                assert (int(u), int(v)) in kept
+
+    def test_sparser_than_input(self):
+        pts = uniform_points(250, seed=4)
+        g = build_rgg(pts, connectivity_radius(250))
+        backbone = local_mst_topology(g)
+        stats = topology_stats(g, backbone)
+        assert stats.edge_reduction > 0.4
+        assert stats.energy_cost_after < stats.energy_cost_before
+
+    def test_asymmetric_variant_superset(self):
+        pts = uniform_points(100, seed=5)
+        g = build_rgg(pts, connectivity_radius(100))
+        sym = set(map(tuple, local_mst_topology(g, symmetric=True).edges))
+        asym = set(map(tuple, local_mst_topology(g, symmetric=False).edges))
+        assert sym <= asym
+
+    def test_stats_validation(self):
+        g1 = build_rgg(uniform_points(10, seed=0), 0.5)
+        g2 = build_rgg(uniform_points(11, seed=0), 0.5)
+        with pytest.raises(GraphError):
+            topology_stats(g1, g2)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "EOPT"])
+        assert args.algorithm == "EOPT"
+        assert args.n == 500
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "DIJKSTRA"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "Co-NNT", "-n", "80", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Co-NNT" in out
+        assert "CONNECTION" in out
+
+    def test_fig3a(self, capsys):
+        assert main(["fig3a", "--max-n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "E[GHS]" in out and "Fig 3(a)" in out
+
+    def test_fig3a_save_and_fig3b_load(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        assert main(["fig3a", "--max-n", "250", "--save", path]) == 0
+        assert main(["fig3b", "--load", path, "--min-n", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "slope" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "-n", "500"]) == 0
+        assert "giant" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "-n", "400"]) == 0
+        assert "Lemma 6.1" in capsys.readouterr().out
+
+    def test_tab1(self, capsys):
+        assert main(["tab1", "--ns", "500"]) == 0
+        assert "CoNNT len" in capsys.readouterr().out
+
+    def test_thm52(self, capsys):
+        assert main(["thm52", "--ns", "300", "500"]) == 0
+        assert "giant" in capsys.readouterr().out
+
+    def test_lb(self, capsys):
+        assert main(["lb", "--ns", "300"]) == 0
+        assert "L_MST" in capsys.readouterr().out
+
+    def test_render(self, capsys, tmp_path):
+        out_path = str(tmp_path / "i.svg")
+        assert main(["render", "-n", "50", "-o", out_path]) == 0
+        assert (tmp_path / "i.svg").read_text().startswith("<svg")

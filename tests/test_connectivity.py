@@ -1,0 +1,88 @@
+"""Tests for connectivity thresholds and k-NN distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import connectivity_radius
+from repro.rgg.build import build_rgg
+from repro.rgg.components import is_connected
+from repro.rgg.connectivity import (
+    connectivity_probability,
+    critical_connectivity_radius,
+    kth_nearest_distances,
+)
+
+
+class TestCriticalRadius:
+    def test_equals_longest_mst_edge(self):
+        from repro.mst.delaunay import euclidean_mst
+
+        pts = uniform_points(100, seed=0)
+        rc = critical_connectivity_radius(pts)
+        _, lengths = euclidean_mst(pts)
+        assert rc == pytest.approx(lengths.max())
+
+    def test_threshold_behaviour(self):
+        """Just below rc: disconnected; just above: connected.
+
+        (A hair of slack on each side — the MST edge length and the
+        KD-tree's range comparison evaluate the same distance through
+        different float expressions, so exact equality is one ulp fuzzy.)
+        """
+        pts = uniform_points(120, seed=1)
+        rc = critical_connectivity_radius(pts)
+        assert is_connected(build_rgg(pts, rc * (1 + 1e-9)))
+        assert not is_connected(build_rgg(pts, rc * 0.999))
+
+    def test_trivial_inputs(self):
+        assert critical_connectivity_radius(np.zeros((0, 2))) == 0.0
+        assert critical_connectivity_radius(np.array([[0.5, 0.5]])) == 0.0
+
+    def test_paper_constant_exceeds_threshold(self):
+        """The paper's 1.6 sqrt(ln n / n) connects typical instances."""
+        for seed in range(5):
+            pts = uniform_points(400, seed=seed)
+            assert critical_connectivity_radius(pts) < connectivity_radius(400)
+
+
+class TestConnectivityProbability:
+    def test_extremes(self):
+        assert connectivity_probability(30, 2.0, trials=5) == 1.0
+        assert connectivity_probability(30, 0.0, trials=5) == 0.0
+
+    def test_monotone_in_radius(self):
+        lo = connectivity_probability(100, 0.08, trials=10)
+        hi = connectivity_probability(100, 0.25, trials=10)
+        assert hi >= lo
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            connectivity_probability(10, 0.5, trials=0)
+
+
+class TestKthNearest:
+    def test_monotone_in_k(self):
+        pts = uniform_points(200, seed=0)
+        d1 = kth_nearest_distances(pts, 1)
+        d5 = kth_nearest_distances(pts, 5)
+        assert (d5 >= d1).all()
+
+    def test_lemma_4_1_scale(self):
+        """k-NN distance^2 concentrates around k/(pi n): the geometric core
+        of the paper's energy lower bound."""
+        n, k = 4000, 8
+        pts = uniform_points(n, seed=1)
+        d2 = kth_nearest_distances(pts, k) ** 2
+        ratio = np.median(d2) / (k / (np.pi * n))
+        assert 0.5 < ratio < 2.0
+
+    def test_validation(self):
+        pts = uniform_points(10, seed=0)
+        with pytest.raises(GeometryError):
+            kth_nearest_distances(pts, 0)
+        with pytest.raises(GeometryError):
+            kth_nearest_distances(pts, 10)

@@ -1,0 +1,152 @@
+"""Adversarial / degenerate workloads for every protocol.
+
+Random uniform points never produce exact distance ties; lattices and
+collinear sets do, constantly.  These tests pin down that the
+deterministic tie-breaking (edge key ``(d, lo, hi)``, reply key
+``(d, id)``) keeps every algorithm correct and oracle-consistent on such
+inputs — plus a few other nasty shapes (two far clusters, a line, near-
+duplicate points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.algorithms.randnnt import run_randnnt
+from repro.geometry.points import perturbed_grid_points
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.nnt import nearest_neighbor_tree
+from repro.mst.quality import same_tree, tree_cost, verify_spanning_tree
+from repro.rgg.build import build_rgg
+from repro.rgg.components import connected_components
+
+
+def exact_lattice(n: int) -> np.ndarray:
+    return perturbed_grid_points(n, jitter=0.0, seed=0)
+
+
+def reference_msf(points, radius):
+    g = build_rgg(points, radius)
+    return kruskal_mst(g.n, g.edges, g.lengths)[0]
+
+
+class TestExactLattice:
+    """A perfect grid: every node has 2-4 neighbours at *identical* distance."""
+
+    @pytest.mark.parametrize("runner", [run_ghs, run_modified_ghs])
+    def test_ghs_family_matches_kruskal(self, runner):
+        pts = exact_lattice(100)
+        res = runner(pts, radius=0.25)
+        assert same_tree(res.tree_edges, reference_msf(pts, 0.25))
+
+    def test_eopt_valid_forest(self):
+        pts = exact_lattice(144)
+        res = run_eopt(pts)
+        assert same_tree(res.tree_edges, reference_msf(pts, res.extras["r2"]))
+
+    def test_connt_matches_oracle(self):
+        pts = exact_lattice(169)
+        res = run_connt(pts)
+        nnt, _ = nearest_neighbor_tree(pts)
+        assert same_tree(res.tree_edges, nnt)
+
+    def test_randnnt_matches_oracle(self):
+        pts = exact_lattice(121)
+        res = run_randnnt(pts)
+        expected, _ = nearest_neighbor_tree(pts, ranks=np.arange(121))
+        assert same_tree(res.tree_edges, expected)
+
+    def test_all_spanning(self):
+        pts = exact_lattice(100)
+        for res in (run_eopt(pts), run_connt(pts), run_randnnt(pts)):
+            verify_spanning_tree(100, res.tree_edges, forest_ok=True)
+
+
+class TestCollinear:
+    """All points on one line: Qhull-degenerate, heavy ties in rank keys."""
+
+    @pytest.fixture
+    def line(self):
+        xs = np.linspace(0.05, 0.95, 40)
+        return np.stack([xs, np.full(40, 0.5)], axis=1)
+
+    def test_ghs(self, line):
+        res = run_ghs(line, radius=0.2)
+        expected = reference_msf(line, 0.2)
+        assert same_tree(res.tree_edges, expected)
+        # The line MST is simply consecutive points.
+        assert len(res.tree_edges) == 39
+
+    def test_connt_chain(self, line):
+        res = run_connt(line)
+        verify_spanning_tree(40, res.tree_edges)
+        # Diagonal rank along a horizontal line = left-to-right order, so
+        # the NNT is exactly the chain (each connects to its right
+        # neighbour) — which is also the MST.
+        assert tree_cost(line, res.tree_edges) == pytest.approx(0.9, rel=1e-6)
+
+    def test_eopt(self, line):
+        res = run_eopt(line)
+        assert same_tree(res.tree_edges, reference_msf(line, res.extras["r2"]))
+
+
+class TestTwoClusters:
+    """Two tight far-apart clusters: disconnected at the operating radius."""
+
+    @pytest.fixture
+    def clusters(self):
+        rng = np.random.default_rng(0)
+        a = 0.05 + 0.1 * rng.random((40, 2))
+        b = 0.85 + 0.1 * rng.random((40, 2))
+        return np.concatenate([a, b])
+
+    def test_ghs_forest(self, clusters):
+        res = run_ghs(clusters, radius=0.15)
+        g = build_rgg(clusters, 0.15)
+        n_comp = len(connected_components(g))
+        assert len(res.tree_edges) == 80 - n_comp
+        assert same_tree(res.tree_edges, reference_msf(clusters, 0.15))
+
+    def test_eopt_forest(self, clusters):
+        res = run_eopt(clusters)
+        assert same_tree(
+            res.tree_edges, reference_msf(clusters, res.extras["r2"])
+        )
+
+    def test_connt_bridges_clusters(self, clusters):
+        """Co-NNT's power is unbounded (coordinates known), so it spans
+        even across the gap — with exactly one long bridge edge."""
+        res = run_connt(clusters)
+        verify_spanning_tree(80, res.tree_edges)
+        from repro.geometry.distance import edge_lengths
+
+        lengths = edge_lengths(clusters, res.tree_edges)
+        assert (lengths > 0.5).sum() == 1
+
+
+class TestNearDuplicates:
+    """Pairs of near-coincident points (1e-12 apart): tiny but nonzero
+    distances must not break anything."""
+
+    @pytest.fixture
+    def doubled(self):
+        rng = np.random.default_rng(1)
+        base = rng.random((30, 2)) * 0.9 + 0.05
+        eps = 1e-12
+        return np.concatenate([base, base + eps])
+
+    def test_ghs(self, doubled):
+        res = run_ghs(doubled, radius=0.5)
+        assert same_tree(res.tree_edges, reference_msf(doubled, 0.5))
+
+    def test_connt(self, doubled):
+        res = run_connt(doubled)
+        verify_spanning_tree(60, res.tree_edges)
+
+    def test_eopt(self, doubled):
+        res = run_eopt(doubled)
+        verify_spanning_tree(60, res.tree_edges, forest_ok=True)

@@ -1,0 +1,80 @@
+"""Tests for the distance kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.geometry.distance import (
+    chebyshev,
+    edge_lengths,
+    euclidean,
+    pairwise_euclidean,
+    pairwise_sq_euclidean,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+point = st.tuples(unit, unit)
+
+
+class TestScalar:
+    def test_euclidean_known(self):
+        assert euclidean([0, 0], [3, 4]) == 5.0
+
+    def test_chebyshev_known(self):
+        assert chebyshev([0, 0], [0.3, 0.7]) == 0.7
+
+    def test_euclidean_batch(self):
+        p = np.zeros((3, 2))
+        q = np.array([[1, 0], [0, 2], [3, 4]])
+        assert np.allclose(euclidean(p, q), [1, 2, 5])
+
+    @given(point, point)
+    def test_symmetry(self, p, q):
+        assert euclidean(p, q) == euclidean(q, p)
+        assert chebyshev(p, q) == chebyshev(q, p)
+
+    @given(point, point)
+    def test_chebyshev_lower_bounds_euclidean(self, p, q):
+        """L_inf <= L_2 <= sqrt(2) L_inf — the constant-factor relation the
+        paper's percolation proof relies on."""
+        c, e = chebyshev(p, q), euclidean(p, q)
+        assert c <= e + 1e-12
+        assert e <= np.sqrt(2) * c + 1e-12
+
+    @given(point, point, point)
+    def test_triangle_inequality(self, p, q, r):
+        assert euclidean(p, r) <= euclidean(p, q) + euclidean(q, r) + 1e-9
+
+
+class TestPairwise:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, 2))
+        m = pairwise_euclidean(pts)
+        for i in range(20):
+            for j in range(20):
+                assert np.isclose(m[i, j], euclidean(pts[i], pts[j]))
+
+    def test_sq_diagonal_zero(self):
+        pts = np.random.default_rng(1).random((10, 2))
+        assert (np.diag(pairwise_sq_euclidean(pts)) == 0).all()
+
+    def test_sq_nonnegative(self):
+        pts = np.random.default_rng(2).random((30, 2))
+        assert (pairwise_sq_euclidean(pts) >= 0).all()
+
+    def test_symmetric(self):
+        pts = np.random.default_rng(3).random((15, 2))
+        m = pairwise_sq_euclidean(pts)
+        assert np.allclose(m, m.T)
+
+
+class TestEdgeLengths:
+    def test_empty(self):
+        assert edge_lengths(np.zeros((3, 2)), np.zeros((0, 2))).shape == (0,)
+
+    def test_values(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1]])
+        e = np.array([[0, 1], [0, 2]])
+        assert np.allclose(edge_lengths(pts, e), [1.0, np.sqrt(2)])

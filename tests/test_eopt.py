@@ -1,0 +1,155 @@
+"""Tests for the EOPT two-step energy-optimal algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.eopt import giant_size_threshold, run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.geometry.points import clustered_points, uniform_points
+from repro.geometry.radius import connectivity_radius, giant_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import same_tree, verify_spanning_tree
+from repro.rgg.build import build_rgg
+from repro.rgg.components import is_connected
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_exact_emst_on_uniform(self, seed):
+        pts = uniform_points(250, seed=seed)
+        res = run_eopt(pts)
+        if is_connected(build_rgg(pts, res.extras["r2"])):
+            mst, _ = euclidean_mst(pts)
+            assert same_tree(res.tree_edges, mst)
+
+    def test_matches_ghs_tree(self):
+        """EOPT and GHS compute the same MST (both exact)."""
+        pts = uniform_points(300, seed=5)
+        assert same_tree(run_eopt(pts).tree_edges, run_ghs(pts).tree_edges)
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 20, 50])
+    def test_small_n_robustness(self, n):
+        """Below the asymptotic regime the giant may not exist; EOPT must
+        still produce the exact spanning forest of the r2-RGG."""
+        pts = uniform_points(n, seed=6)
+        res = run_eopt(pts)
+        g = build_rgg(pts, res.extras["r2"])
+        expected, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert same_tree(res.tree_edges, expected)
+
+    def test_clustered_workload(self):
+        """Highly non-uniform density: Thm 5.2's whp guarantees are void,
+        but correctness must survive."""
+        pts = clustered_points(300, spread=0.05, seed=0)
+        res = run_eopt(pts)
+        g = build_rgg(pts, res.extras["r2"])
+        expected, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert same_tree(res.tree_edges, expected)
+
+    def test_forest_on_disconnected(self):
+        pts = clustered_points(150, n_clusters=3, spread=0.02, seed=3)
+        res = run_eopt(pts)
+        verify_spanning_tree(150, res.tree_edges, forest_ok=True)
+
+
+class TestGiantMechanics:
+    def test_giant_found_and_large(self):
+        n = 1500
+        res = run_eopt(uniform_points(n, seed=0))
+        assert res.extras["giant_found"]
+        assert res.extras["giant_size"] > 0.5 * n
+
+    def test_threshold_formula(self):
+        assert giant_size_threshold(1000, beta=2.0) == pytest.approx(
+            2.0 * np.log(1000) ** 2
+        )
+        assert giant_size_threshold(1) == 1.0
+
+    def test_no_giant_fallback(self):
+        """With an impossible threshold no fragment declares giant; the
+        run degrades to plain modified GHS at r2 but stays correct."""
+        pts = uniform_points(200, seed=1)
+        res = run_eopt(pts, beta=1e9)
+        assert not res.extras["giant_found"]
+        mst, _ = euclidean_mst(pts)
+        assert same_tree(res.tree_edges, mst)
+
+    def test_everything_giant_with_tiny_threshold(self):
+        """beta ~ 0: the largest fragment is always the giant (the
+        multi-giant safeguard demotes the rest)."""
+        pts = uniform_points(300, seed=2)
+        res = run_eopt(pts, beta=1e-9)
+        assert res.extras["giant_found"]
+        mst, _ = euclidean_mst(pts)
+        assert same_tree(res.tree_edges, mst)
+        # With threshold ~0 every fragment qualifies; all but one demoted.
+        assert res.extras["giants_demoted"] >= 0
+
+    def test_radii_recorded(self):
+        n = 400
+        res = run_eopt(uniform_points(n, seed=3))
+        assert res.extras["r1"] == pytest.approx(giant_radius(n))
+        assert res.extras["r2"] == pytest.approx(connectivity_radius(n))
+
+    def test_absorption_used_at_scale(self):
+        """At n large enough for small fragments to exist, step 2 must
+        absorb them into the giant (ABSORB messages appear)."""
+        found = False
+        for seed in range(6):
+            res = run_eopt(uniform_points(1200, seed=seed))
+            if res.stats.messages_by_kind.get("ABSORB", 0) > 0:
+                found = True
+                break
+        assert found, "no run exercised giant absorption"
+
+    def test_custom_constants(self):
+        pts = uniform_points(300, seed=4)
+        res = run_eopt(pts, c1=1.0, c2=2.0)
+        assert res.extras["r1"] == pytest.approx(giant_radius(300, 1.0))
+        assert res.extras["r2"] == pytest.approx(connectivity_radius(300, 2.0))
+        g = build_rgg(pts, res.extras["r2"])
+        expected, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert same_tree(res.tree_edges, expected)
+
+
+class TestEnergy:
+    def test_cheaper_than_ghs(self):
+        """The headline claim: EOPT << GHS."""
+        pts = uniform_points(800, seed=0)
+        e_eopt = run_eopt(pts).energy
+        e_ghs = run_ghs(pts).energy
+        assert e_eopt < e_ghs / 3
+
+    def test_energy_scales_like_log_n(self):
+        """Energy/log n stays within a narrow band while n quadruples."""
+        ratios = []
+        for n in (400, 1600):
+            e = np.mean(
+                [run_eopt(uniform_points(n, seed=s)).energy for s in range(3)]
+            )
+            ratios.append(e / np.log(n))
+        assert ratios[1] < 2.5 * ratios[0]
+
+    def test_stage_split_recorded(self):
+        res = run_eopt(uniform_points(500, seed=1))
+        assert res.extras["step1_energy"] > 0
+        assert res.extras["step2_energy"] > 0
+        assert res.extras["step1_energy"] + res.extras["step2_energy"] == (
+            pytest.approx(res.energy)
+        )
+
+    def test_step1_messages_cheap(self):
+        """Step-1 messages travel at most r1, so per-message energy is
+        bounded by r1^2 = c1^2/n."""
+        n = 600
+        res = run_eopt(uniform_points(n, seed=2))
+        step1_msgs = sum(
+            v
+            for k, v in res.stats.messages_by_stage.items()
+            if k.startswith("step1")
+        )
+        r1 = res.extras["r1"]
+        assert res.extras["step1_energy"] <= step1_msgs * r1 * r1 * (1 + 1e-9)

@@ -1,0 +1,159 @@
+"""Tests for the GHS family (original + modified) on the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.geometry.points import (
+    clustered_points,
+    perturbed_grid_points,
+    uniform_points,
+)
+from repro.geometry.radius import connectivity_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import same_tree, verify_spanning_tree
+from repro.rgg.build import build_rgg
+from repro.rgg.components import connected_components, is_connected
+
+
+def rgg_mst(points, radius):
+    """Reference MST (forest) of the RGG at ``radius``."""
+    g = build_rgg(points, radius)
+    return kruskal_mst(g.n, g.edges, g.lengths)[0]
+
+
+class TestGHSCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_produces_exact_emst(self, seed):
+        pts = uniform_points(150, seed=seed)
+        res = run_ghs(pts)
+        mst, _ = euclidean_mst(pts)
+        if is_connected(build_rgg(pts, res.extras["radius"])):
+            assert same_tree(res.tree_edges, mst)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_tiny_instances(self, n):
+        pts = uniform_points(n, seed=5)
+        res = run_ghs(pts, radius=2.0)
+        mst, _ = euclidean_mst(pts)
+        assert same_tree(res.tree_edges, mst)
+
+    def test_single_node(self):
+        res = run_ghs(np.array([[0.5, 0.5]]), radius=1.0)
+        assert len(res.tree_edges) == 0
+        assert res.energy == pytest.approx(1.0)  # just the HELLO broadcast
+
+    def test_disconnected_gives_msf(self):
+        """At a sub-connectivity radius GHS yields the exact minimum
+        spanning forest of the RGG."""
+        pts = uniform_points(200, seed=1)
+        r = 0.6 * connectivity_radius(200)
+        res = run_ghs(pts, radius=r)
+        expected = rgg_mst(pts, r)
+        assert same_tree(res.tree_edges, expected)
+        n_comp = len(connected_components(build_rgg(pts, r)))
+        assert len(res.tree_edges) == 200 - n_comp
+
+    def test_stress_workloads(self):
+        for pts in (
+            perturbed_grid_points(120, seed=0),
+            clustered_points(120, spread=0.08, seed=0),
+        ):
+            r = 0.35
+            res = run_ghs(pts, radius=r)
+            assert same_tree(res.tree_edges, rgg_mst(pts, r))
+
+    def test_phase_count_logarithmic(self):
+        pts = uniform_points(400, seed=2)
+        res = run_ghs(pts)
+        assert res.phases <= np.log2(400) + 3
+
+    def test_each_edge_rejected_at_most_twice(self):
+        """The GHS message bound: total REJECTs <= 2|E| over the whole run.
+
+        An intra-fragment edge is killed permanently on its first REJECT,
+        but both endpoints may have probed it concurrently within one
+        phase before either reply landed — hence per *direction*, i.e. at
+        most two rejects per edge (the classical O(|E|) term)."""
+        pts = uniform_points(250, seed=3)
+        res = run_ghs(pts)
+        g = build_rgg(pts, res.extras["radius"])
+        assert res.stats.messages_by_kind.get("REJECT", 0) <= 2 * g.m
+
+    def test_message_complexity_bound(self):
+        """O(n log n + |E|) with an explicit modest constant."""
+        n = 500
+        pts = uniform_points(n, seed=4)
+        res = run_ghs(pts)
+        g = build_rgg(pts, res.extras["radius"])
+        bound = 8 * (n * np.log2(n) + g.m)
+        assert res.messages <= bound
+
+
+class TestModifiedGHS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_tree_as_original(self, seed):
+        pts = uniform_points(150, seed=seed)
+        a = run_ghs(pts)
+        b = run_modified_ghs(pts)
+        assert same_tree(a.tree_edges, b.tree_edges)
+
+    def test_no_test_messages(self):
+        res = run_modified_ghs(uniform_points(100, seed=0))
+        assert "TEST" not in res.stats.messages_by_kind
+        assert "ACCEPT" not in res.stats.messages_by_kind
+        assert "REJECT" not in res.stats.messages_by_kind
+
+    def test_cheaper_than_original(self):
+        """The whole point of the modification (paper Sec. V-A)."""
+        pts = uniform_points(300, seed=1)
+        orig = run_ghs(pts)
+        mod = run_modified_ghs(pts)
+        assert mod.energy < orig.energy
+        assert mod.messages < orig.messages
+
+    def test_message_complexity_n_phi(self):
+        """Modified GHS: O(n phi) messages for phi phases (Sec. V-A)."""
+        n = 400
+        pts = uniform_points(n, seed=2)
+        res = run_modified_ghs(pts)
+        assert res.messages <= 6 * n * max(res.phases, 1)
+
+    def test_announce_messages_bounded(self):
+        """Each node announces at most once per phase."""
+        n = 300
+        pts = uniform_points(n, seed=3)
+        res = run_modified_ghs(pts)
+        assert res.stats.messages_by_kind.get("ANNOUNCE", 0) <= n * res.phases
+
+    def test_disconnected_forest(self):
+        pts = uniform_points(150, seed=4)
+        r = 0.5 * connectivity_radius(150)
+        res = run_modified_ghs(pts, radius=r)
+        assert same_tree(res.tree_edges, rgg_mst(pts, r))
+
+    def test_result_metadata(self):
+        res = run_modified_ghs(uniform_points(80, seed=5))
+        assert res.name == "MGHS"
+        assert res.n == 80
+        assert res.extras["radius"] == pytest.approx(connectivity_radius(80))
+        verify_spanning_tree(80, res.tree_edges, forest_ok=True)
+
+    def test_custom_radius_const(self):
+        res = run_modified_ghs(uniform_points(100, seed=6), radius_const=2.5)
+        assert res.extras["radius"] == pytest.approx(connectivity_radius(100, 2.5))
+
+
+class TestEnergyScaling:
+    def test_ghs_energy_grows_with_n(self):
+        """GHS energy is Theta(log^2 n): strictly growing over the sweep."""
+        es = [run_ghs(uniform_points(n, seed=0)).energy for n in (100, 400, 1600)]
+        assert es[0] < es[1] < es[2]
+
+    def test_hello_stage_small_fraction(self):
+        """Discovery costs n r^2 = O(log n) — a sliver of GHS's total."""
+        res = run_ghs(uniform_points(500, seed=1))
+        assert res.stats.energy_by_stage["hello"] < 0.2 * res.energy

@@ -1,0 +1,260 @@
+"""Protocol-level tests of the GHS state machine on crafted geometries,
+plus the post-run state audit on realistic runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.base import collect_tree_edges
+from repro.algorithms.ghs.audit import audit_ghs_state
+from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
+from repro.algorithms.ghs.node import NO_EDGE, GHSNode
+from repro.errors import ProtocolError
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import connectivity_radius
+from repro.sim.kernel import SynchronousKernel
+
+
+def make_run(points, radius, *, use_tests=False, announce=True):
+    k = SynchronousKernel(np.asarray(points, dtype=float), max_radius=radius)
+    k.add_nodes(
+        lambda i, ctx: GHSNode(i, ctx, use_tests=use_tests, announce=announce)
+    )
+    k.start()
+    hello_round(k, radius)
+    return k
+
+
+class TestTwoNodes:
+    """The minimal core: two singletons must reciprocally CONNECT and the
+    larger id must emerge as the (halted) leader."""
+
+    @pytest.mark.parametrize("use_tests", [False, True])
+    def test_core_formation(self, use_tests):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5, use_tests=use_tests)
+        phases = run_ghs_phases(k, k.nodes)
+        assert phases == 2  # merge phase + halt-discovery phase
+        a, b = k.nodes
+        assert a.tree_edges == {1} and b.tree_edges == {0}
+        # Higher id wins the core; it is the final (halted) leader.
+        assert b.leader and not a.leader
+        assert b.halted
+        assert a.fid == b.fid == 1
+
+    def test_connect_energy_charged_on_moe(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        stats = k.stats()
+        # Two CONNECTs (one each way over the 0.4 edge).
+        assert stats.messages_by_kind["CONNECT"] == 2
+        assert stats.energy_by_kind["CONNECT"] == pytest.approx(2 * 0.16)
+
+
+class TestChain:
+    """Four nodes in a line with distinct gaps: the merge schedule is
+    fully predictable."""
+
+    def test_tree_and_orientation(self):
+        # Gaps: 0.10, 0.12, 0.14 -> phase 1 merges (0,1) via min edge and
+        # (1,2)? No: MOEs: node0->1, 1->0, 2->1, 3->2. Cluster {0,1,2,3}
+        # with core (0,1).
+        pts = [[0.10, 0.5], [0.20, 0.5], [0.32, 0.5], [0.46, 0.5]]
+        k = make_run(pts, 0.2)
+        phases = run_ghs_phases(k, k.nodes)
+        edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in k.nodes)
+        assert {tuple(e) for e in edges} == {(0, 1), (1, 2), (2, 3)}
+        assert phases == 2  # everything merges into one fragment in phase 1
+        audit_ghs_state(k.nodes)
+        # Fragment id = core winner = 1 (core edge (0,1), higher id 1).
+        assert all(nd.fid == 1 for nd in k.nodes)
+
+    def test_two_cores_then_merge(self):
+        # Gaps: 0.10, 0.30, 0.10 -> phase 1: cores (0,1) and (2,3);
+        # phase 2: fragments joined by the middle edge.
+        pts = [[0.10, 0.5], [0.20, 0.5], [0.50, 0.5], [0.60, 0.5]]
+        k = make_run(pts, 0.35)
+        phases = run_ghs_phases(k, k.nodes)
+        edges = {tuple(e) for e in
+                 collect_tree_edges((nd.id, nd.tree_edges) for nd in k.nodes)}
+        assert edges == {(0, 1), (2, 3), (1, 2)}
+        assert phases == 3
+        audit_ghs_state(k.nodes)
+
+
+class TestIsolation:
+    def test_isolated_node_halts_alone(self):
+        pts = [[0.1, 0.1], [0.9, 0.9]]
+        k = make_run(pts, 0.2)
+        phases = run_ghs_phases(k, k.nodes)
+        assert phases == 1
+        for nd in k.nodes:
+            assert nd.halted and nd.leader
+            assert nd.tree_edges == set()
+        audit_ghs_state(k.nodes)
+
+
+class TestWakeGuards:
+    def test_initiate_on_non_leader_raises(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        with pytest.raises(ProtocolError):
+            k.nodes[0].on_wake("initiate", (99,))  # node 0 lost leadership
+
+    def test_unknown_wake_raises(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        with pytest.raises(ProtocolError):
+            k.nodes[0].on_wake("bogus")
+
+    def test_unknown_message_raises(self):
+        from repro.sim.message import Message
+
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        with pytest.raises(ProtocolError):
+            k.nodes[0].on_message(Message("NOPE", 1, 0, (), 0.1), 0.1)
+
+    def test_size_wake_on_non_leader_raises(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        with pytest.raises(ProtocolError):
+            k.nodes[0].on_wake("size")
+
+
+class TestSizeCensus:
+    def test_chain_size(self):
+        pts = [[0.1, 0.5], [0.2, 0.5], [0.32, 0.5], [0.46, 0.5]]
+        k = make_run(pts, 0.2)
+        run_ghs_phases(k, k.nodes)
+        leader = next(nd for nd in k.nodes if nd.leader)
+        k.wake([leader.id], "size")
+        k.run_until_quiescent()
+        assert leader.fragment_size == 4
+
+    def test_singleton_size(self):
+        pts = [[0.1, 0.1], [0.9, 0.9]]
+        k = make_run(pts, 0.2)
+        run_ghs_phases(k, k.nodes)
+        leaders = [nd for nd in k.nodes if nd.leader]
+        k.wake([nd.id for nd in leaders], "size")
+        k.run_until_quiescent()
+        assert all(nd.fragment_size == 1 for nd in leaders)
+
+    def test_size_message_count(self):
+        """Census = one SIZE_REQ + one SIZE_RESP per tree edge."""
+        n = 50
+        pts = uniform_points(n, seed=0)
+        r = connectivity_radius(n)
+        k = make_run(pts, r)
+        run_ghs_phases(k, k.nodes)
+        leader = next(nd for nd in k.nodes if nd.leader)
+        before = k.stats().messages_total
+        k.wake([leader.id], "size")
+        k.run_until_quiescent()
+        delta = k.stats().messages_total - before
+        assert delta == 2 * (n - 1)
+        assert leader.fragment_size == n
+
+
+class TestGiantDeclaration:
+    def test_declare_giant_floods_whole_fragment(self):
+        pts = uniform_points(40, seed=1)
+        k = make_run(pts, connectivity_radius(40))
+        run_ghs_phases(k, k.nodes)
+        leader = next(nd for nd in k.nodes if nd.leader)
+        k.wake([leader.id], "declare_giant")
+        k.run_until_quiescent()
+        assert all(nd.passive and nd.is_giant for nd in k.nodes)
+        audit_ghs_state(k.nodes)
+
+    def test_passive_node_absorbs_connect(self):
+        """A CONNECT into a passive fragment triggers ABSORB with its id."""
+        pts = [[0.2, 0.5], [0.6, 0.5], [0.61, 0.5]]
+        k = make_run(pts, 0.05)  # nobody in range: three singletons
+        run_ghs_phases(k, k.nodes)
+        k.set_max_radius(1.0)
+        hello_round(k, 1.0)
+        # Declare node 2's singleton fragment the "giant".
+        k.wake([2], "declare_giant")
+        k.run_until_quiescent()
+        k.wake([0, 1], "activate")
+        run_ghs_phases(k, k.nodes, start_phase=10)
+        # Everyone ends up in the giant's fragment, absorbed.
+        assert all(nd.fid == 2 for nd in k.nodes)
+        assert all(nd.passive for nd in k.nodes)
+        audit_ghs_state(k.nodes)
+
+
+class TestEdgeKey:
+    def test_key_is_symmetric(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        a, b = k.nodes
+        assert a._edge_key(1, 0.4) == b._edge_key(0, 0.4)
+
+    def test_no_edge_sentinel_orders_last(self):
+        assert (0.1, 0, 1) < NO_EDGE
+        assert not NO_EDGE < NO_EDGE
+
+
+class TestAuditOnRealRuns:
+    @pytest.mark.parametrize("use_tests", [False, True])
+    def test_audit_clean_after_full_run(self, use_tests):
+        n = 150
+        pts = uniform_points(n, seed=2)
+        r = connectivity_radius(n)
+        k = make_run(pts, r, use_tests=use_tests)
+        run_ghs_phases(k, k.nodes)
+        summary = audit_ghs_state(k.nodes)
+        assert summary["n_fragments"] == 1
+        assert summary["n_tree_edges"] == n - 1
+        assert summary["n_leaders"] == 1
+
+    def test_audit_clean_after_eopt(self):
+        from repro.algorithms.eopt import run_eopt  # noqa: F401 - sanity import
+
+        # Re-run EOPT's phases manually to keep node handles.
+        n = 300
+        pts = uniform_points(n, seed=3)
+        from repro.algorithms.eopt.runner import run_eopt as _run
+
+        res = _run(pts)
+        assert res.extras["n_fragments_final"] == 1
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 50), st.floats(0.05, 0.6))
+    @settings(max_examples=15, deadline=None)
+    def test_audit_property(self, seed, n, radius):
+        pts = uniform_points(n, seed=seed)
+        k = make_run(pts, radius)
+        run_ghs_phases(k, k.nodes)
+        audit_ghs_state(k.nodes)
+
+    def test_audit_detects_asymmetry(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        k.nodes[0].tree_edges.discard(1)  # corrupt
+        with pytest.raises(ProtocolError):
+            audit_ghs_state(k.nodes)
+
+    def test_audit_detects_mixed_fids(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        k.nodes[0].fid = 0  # corrupt: fragment id must be uniform
+        with pytest.raises(ProtocolError):
+            audit_ghs_state(k.nodes)
+
+    def test_audit_detects_double_leader(self):
+        pts = [[0.2, 0.5], [0.6, 0.5]]
+        k = make_run(pts, 0.5)
+        run_ghs_phases(k, k.nodes)
+        k.nodes[0].leader = True  # corrupt
+        with pytest.raises(ProtocolError):
+            audit_ghs_state(k.nodes)

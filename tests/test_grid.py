@@ -1,0 +1,149 @@
+"""Tests for the cell grid and its cluster labeler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.grid import CellGrid
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_cell_count(self):
+        g = CellGrid(0.25)
+        assert g.m == 4
+        assert g.n_cells == 16
+
+    def test_non_divisor_side(self):
+        g = CellGrid(0.3)
+        assert g.m == 4  # ceil(1/0.3)
+
+    def test_invalid_side(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(GeometryError):
+                CellGrid(bad)
+
+    def test_counts_require_assign(self):
+        g = CellGrid(0.5)
+        with pytest.raises(GeometryError):
+            _ = g.counts
+
+    def test_assign_and_counts(self):
+        pts = np.array([[0.1, 0.1], [0.1, 0.2], [0.9, 0.9]])
+        g = CellGrid(0.5, pts)
+        assert g.counts[0, 0] == 2
+        assert g.counts[1, 1] == 1
+        assert g.counts.sum() == 3
+
+    def test_boundary_points_absorbed(self):
+        pts = np.array([[1.0, 1.0], [0.0, 0.0]])
+        g = CellGrid(0.5, pts)
+        assert g.counts[1, 1] == 1
+        assert g.counts[0, 0] == 1
+
+    def test_points_outside_square_rejected(self):
+        with pytest.raises(GeometryError):
+            CellGrid(0.5, np.array([[1.5, 0.5]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            CellGrid(0.5, np.zeros((3, 3)))
+
+    def test_cell_of_and_points_in_cell(self):
+        pts = np.array([[0.1, 0.6], [0.7, 0.2]])
+        g = CellGrid(0.5, pts)
+        assert g.cell_of(0) == (0, 1)
+        assert g.cell_of(1) == (1, 0)
+        assert list(g.points_in_cell(0, 1)) == [0]
+        assert list(g.points_in_cell(1, 1)) == []
+
+    def test_empty_points(self):
+        g = CellGrid(0.5, np.zeros((0, 2)))
+        assert g.counts.sum() == 0
+
+
+class TestNeighbors:
+    def test_neighbors4_interior(self):
+        g = CellGrid(0.25)
+        assert set(g.neighbors4(1, 1)) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_neighbors4_corner(self):
+        g = CellGrid(0.25)
+        assert set(g.neighbors4(0, 0)) == {(1, 0), (0, 1)}
+
+    def test_neighbors8_interior(self):
+        g = CellGrid(0.25)
+        assert len(list(g.neighbors8(1, 1))) == 8
+
+    def test_neighbors8_corner(self):
+        g = CellGrid(0.25)
+        assert len(list(g.neighbors8(3, 3))) == 3
+
+
+class TestClusters:
+    def test_single_cluster(self):
+        g = CellGrid(0.25)
+        mask = np.ones((4, 4), dtype=bool)
+        labels = g.label_clusters(mask)
+        assert labels.max() == 1
+        assert (labels == 1).all()
+
+    def test_two_clusters_4conn(self):
+        g = CellGrid(0.5)
+        mask = np.array([[True, False], [False, True]])
+        labels = g.label_clusters(mask, connectivity=4)
+        assert labels.max() == 2  # diagonal cells are NOT 4-adjacent
+
+    def test_diagonal_joins_with_8conn(self):
+        g = CellGrid(0.5)
+        mask = np.array([[True, False], [False, True]])
+        labels = g.label_clusters(mask, connectivity=8)
+        assert labels.max() == 1
+
+    def test_empty_mask(self):
+        g = CellGrid(0.5)
+        labels = g.label_clusters(np.zeros((2, 2), dtype=bool))
+        assert labels.max() == 0
+        assert len(g.cluster_sizes(labels)) == 0
+
+    def test_cluster_sizes(self):
+        g = CellGrid(0.25)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, :3] = True  # cluster of 3
+        mask[3, 3] = True   # cluster of 1
+        labels = g.label_clusters(mask)
+        assert sorted(g.cluster_sizes(labels)) == [1, 3]
+
+    def test_wrong_mask_shape(self):
+        g = CellGrid(0.25)
+        with pytest.raises(GeometryError):
+            g.label_clusters(np.zeros((2, 2), dtype=bool))
+
+    def test_bad_connectivity(self):
+        g = CellGrid(0.5)
+        with pytest.raises(ValueError):
+            g.label_clusters(np.zeros((2, 2), dtype=bool), connectivity=6)
+
+    def test_matches_scipy_label(self):
+        """Cross-check the flood fill against scipy.ndimage.label."""
+        from scipy import ndimage
+
+        rng = np.random.default_rng(3)
+        g = CellGrid(1 / 16)
+        mask = rng.random((16, 16)) < 0.55
+        ours = g.label_clusters(mask, connectivity=4)
+        theirs, k = ndimage.label(mask)
+        assert ours.max() == k
+        # Same partition: the label arrays must be equal up to renaming.
+        pairs = {(int(a), int(b)) for a, b in zip(ours.ravel(), theirs.ravel()) if a}
+        assert len(pairs) == k  # bijection between label sets
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_labels_cover_exactly_mask(self, seed):
+        rng = np.random.default_rng(seed)
+        g = CellGrid(0.125)
+        mask = rng.random((8, 8)) < 0.5
+        labels = g.label_clusters(mask)
+        assert ((labels > 0) == mask).all()

@@ -1,0 +1,121 @@
+"""Unit and property tests for the indexed min-heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.heaps import IndexedMinHeap
+
+
+class TestBasics:
+    def test_push_pop_single(self):
+        h = IndexedMinHeap()
+        h.push("a", 1.5)
+        assert len(h) == 1
+        assert "a" in h
+        assert h.pop_min() == ("a", 1.5)
+        assert len(h) == 0
+
+    def test_pop_order(self):
+        h = IndexedMinHeap()
+        for item, p in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.push(item, p)
+        assert [h.pop_min()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_duplicate_push_rejected(self):
+        h = IndexedMinHeap()
+        h.push("a", 1.0)
+        with pytest.raises(ValueError):
+            h.push("a", 2.0)
+
+    def test_decrease_key(self):
+        h = IndexedMinHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.decrease("a", 1.0)
+        assert h.pop_min() == ("a", 1.0)
+
+    def test_decrease_cannot_increase(self):
+        h = IndexedMinHeap()
+        h.push("a", 1.0)
+        with pytest.raises(ValueError):
+            h.decrease("a", 2.0)
+
+    def test_push_or_decrease(self):
+        h = IndexedMinHeap()
+        assert h.push_or_decrease("a", 5.0) is True
+        assert h.push_or_decrease("a", 3.0) is True
+        assert h.push_or_decrease("a", 4.0) is False  # would increase
+        assert h.priority("a") == 3.0
+
+    def test_peek_does_not_remove(self):
+        h = IndexedMinHeap()
+        h.push(1, 1.0)
+        assert h.peek_min() == (1, 1.0)
+        assert len(h) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop_min()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek_min()
+
+    def test_membership_after_pop(self):
+        h = IndexedMinHeap()
+        h.push("x", 0.0)
+        h.pop_min()
+        assert "x" not in h
+
+    def test_integer_items(self):
+        h = IndexedMinHeap()
+        for i in range(10):
+            h.push(i, float(10 - i))
+        assert h.pop_min() == (9, 1.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=100))
+    def test_heapsort_matches_sorted(self, prios):
+        """Popping everything yields the priorities in sorted order."""
+        h = IndexedMinHeap()
+        for i, p in enumerate(prios):
+            h.push(i, p)
+        out = [h.pop_min()[1] for _ in range(len(prios))]
+        assert out == sorted(prios)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=50),
+        st.data(),
+    )
+    def test_decrease_preserves_order(self, prios, data):
+        """After arbitrary decreases, pops are still sorted."""
+        h = IndexedMinHeap()
+        current = {}
+        for i, p in enumerate(prios):
+            h.push(i, p)
+            current[i] = p
+        n_dec = data.draw(st.integers(0, len(prios)))
+        for _ in range(n_dec):
+            i = data.draw(st.integers(0, len(prios) - 1))
+            newp = data.draw(st.floats(min_value=-100, max_value=current[i]))
+            h.decrease(i, newp)
+            current[i] = newp
+        out = [h.pop_min() for _ in range(len(prios))]
+        assert [p for _, p in out] == sorted(current.values())
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.floats(0, 100)), max_size=60))
+    def test_push_or_decrease_tracks_minimum(self, ops):
+        """push_or_decrease keeps the minimum priority seen per item."""
+        h = IndexedMinHeap()
+        best: dict[int, float] = {}
+        for item, p in ops:
+            h.push_or_decrease(item, p)
+            best[item] = min(best.get(item, float("inf")), p)
+        got = {}
+        while len(h):
+            item, p = h.pop_min()
+            got[item] = p
+        assert got == pytest.approx(best)

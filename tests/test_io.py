@@ -1,0 +1,90 @@
+"""Tests for JSON persistence of sweeps and results."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connt import run_connt
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.io import (
+    load_sweep,
+    result_to_dict,
+    save_result,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.experiments.runner import sweep_energy
+from repro.geometry.points import uniform_points
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_energy(SweepConfig(ns=(50, 100), seeds=(0,), algorithms=("Co-NNT",)))
+
+
+class TestSweepIO:
+    def test_round_trip_dict(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        assert back.config == sweep.config
+        for alg in sweep.config.algorithms:
+            assert np.array_equal(back.energy[alg], sweep.energy[alg])
+            assert np.array_equal(back.messages[alg], sweep.messages[alg])
+            assert np.array_equal(back.rounds[alg], sweep.rounds[alg])
+
+    def test_round_trip_file(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        back = load_sweep(path)
+        assert back.config.ns == sweep.config.ns
+        assert np.allclose(back.mean_energy("Co-NNT"), sweep.mean_energy("Co-NNT"))
+
+    def test_file_is_plain_json(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        data = json.loads(path.read_text())
+        assert data["kind"] == "energy_sweep"
+        assert data["schema"] == 1
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_from_dict({"kind": "other", "schema": 1})
+
+    def test_wrong_schema_rejected(self, sweep):
+        data = sweep_to_dict(sweep)
+        data["schema"] = 99
+        with pytest.raises(ExperimentError):
+            sweep_from_dict(data)
+
+    def test_shape_mismatch_rejected(self, sweep):
+        data = sweep_to_dict(sweep)
+        data["energy"]["Co-NNT"] = [[1.0]]
+        with pytest.raises(ExperimentError):
+            sweep_from_dict(data)
+
+
+class TestResultIO:
+    def test_result_serialises(self, tmp_path):
+        res = run_connt(uniform_points(60, seed=0))
+        path = save_result(res, tmp_path / "run.json")
+        data = json.loads(path.read_text())
+        assert data["name"] == "Co-NNT"
+        assert data["n"] == 60
+        assert len(data["tree_edges"]) == 59
+        assert data["stats"]["energy_total"] == pytest.approx(res.energy)
+        # Extras must be valid JSON even with numpy scalars inside.
+        assert isinstance(data["extras"]["max_probe_radius"], float)
+
+    def test_dict_has_all_stats(self):
+        res = run_connt(uniform_points(30, seed=1))
+        d = result_to_dict(res)
+        for key in (
+            "energy_total",
+            "messages_total",
+            "rounds",
+            "energy_by_kind",
+            "rx_energy_total",
+        ):
+            assert key in d["stats"]

@@ -1,0 +1,117 @@
+"""Tests for the K-closest-neighbours model ([25] comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.rgg.components import component_sizes, is_connected
+from repro.rgg.knn import knn_equivalent_radius, knn_graph
+
+
+class TestConstruction:
+    def test_matches_brute_force(self):
+        pts = uniform_points(50, seed=0)
+        g = knn_graph(pts, 3)
+        expected = set()
+        for u in range(50):
+            d = np.sqrt(((pts - pts[u]) ** 2).sum(axis=1))
+            d[u] = np.inf
+            for v in np.argsort(d)[:3]:
+                expected.add((min(u, int(v)), max(u, int(v))))
+        assert set(map(tuple, g.edges)) == expected
+
+    def test_mutual_is_subset(self):
+        pts = uniform_points(80, seed=1)
+        either = set(map(tuple, knn_graph(pts, 4, mutual=False).edges))
+        both = set(map(tuple, knn_graph(pts, 4, mutual=True).edges))
+        assert both <= either
+
+    def test_min_degree_at_least_k(self):
+        """Union symmetrisation: every node keeps >= k incident edges."""
+        pts = uniform_points(100, seed=2)
+        g = knn_graph(pts, 3)
+        assert int(g.degrees().min()) >= 3
+
+    def test_edge_count_bounds(self):
+        pts = uniform_points(100, seed=3)
+        g = knn_graph(pts, 2)
+        assert 100 <= g.m <= 200  # between n*k/2 and n*k
+
+    def test_validation(self):
+        pts = uniform_points(10, seed=0)
+        with pytest.raises(GeometryError):
+            knn_graph(pts, 0)
+        with pytest.raises(GeometryError):
+            knn_graph(pts, 10)
+        with pytest.raises(GeometryError):
+            knn_graph(np.zeros((3, 3)), 1)
+
+    def test_empty(self):
+        # Empty input short-circuits before the k-range check.
+        g = knn_graph(np.zeros((0, 2)), 1)
+        assert g.n == 0 and g.m == 0
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 40), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_degrees(self, seed, n, k):
+        if k >= n:
+            k = n - 1
+        pts = uniform_points(n, seed=seed)
+        g = knn_graph(pts, k)
+        assert int(g.degrees().min()) >= k
+
+
+class TestGiantComparison:
+    """The [25] vs fixed-radius comparison behind Thm 5.2."""
+
+    def test_k3_has_giant(self):
+        """K = 3 (a fixed constant, as [25] requires) gives a giant
+        component holding almost all nodes."""
+        pts = uniform_points(2000, seed=0)
+        sizes = component_sizes(knn_graph(pts, 3))
+        assert sizes[0] > 0.9 * 2000
+
+    def test_k1_shatters(self):
+        """K = 1 (mutual-nearest chains) cannot percolate."""
+        pts = uniform_points(2000, seed=1)
+        sizes = component_sizes(knn_graph(pts, 1))
+        assert sizes[0] < 0.05 * 2000
+
+    def test_small_leftovers_at_k3(self):
+        """Like Thm 5.2: non-giant components stay O(log^2 n)."""
+        n = 3000
+        pts = uniform_points(n, seed=2)
+        sizes = component_sizes(knn_graph(pts, 3))
+        if len(sizes) > 1:
+            assert sizes[1] <= 2.0 * np.log(n) ** 2
+
+    def test_equivalent_radius_scale(self):
+        """The degree-matched radius for K=3 sits right at the paper's
+        giant-radius scale c1/sqrt(n) with c1 ~ 1."""
+        n = 1000
+        r = knn_equivalent_radius(n, 3)
+        assert 0.5 / np.sqrt(n) < r < 1.5 / np.sqrt(n)
+
+    def test_knn_connects_before_fixed_radius(self):
+        """At matched expected degree, K-closest is better connected than
+        the fixed-radius graph (it never strands sparse-region nodes) —
+        the structural advantage [25] exploits."""
+        pts = uniform_points(800, seed=3)
+        k = 6
+        g_knn = knn_graph(pts, k)
+        from repro.rgg.build import build_rgg
+
+        g_rad = build_rgg(pts, knn_equivalent_radius(800, k))
+        knn_sizes = component_sizes(g_knn)
+        rad_sizes = component_sizes(g_rad)
+        assert knn_sizes[0] >= rad_sizes[0]
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            knn_equivalent_radius(0, 3)
+        with pytest.raises(GeometryError):
+            knn_equivalent_radius(10, 0)

@@ -1,0 +1,105 @@
+"""Tests for incremental MST repair under node failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_modified_ghs
+from repro.applications.maintenance import repair_after_failures, surviving_forest
+from repro.errors import GraphError
+from repro.geometry.points import uniform_points
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import tree_cost, verify_spanning_tree
+from repro.rgg.build import build_rgg
+
+
+@pytest.fixture(scope="module")
+def built():
+    pts = uniform_points(300, seed=0)
+    res = run_eopt(pts)
+    return pts, res
+
+
+class TestSurvivingForest:
+    def test_relabeling(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        survivors, old_to_new, forest = surviving_forest(4, edges, np.array([1]))
+        assert list(survivors) == [0, 2, 3]
+        assert old_to_new[1] == -1
+        # Only edge (2,3) survives, relabeled to (1,2).
+        assert forest.tolist() == [[1, 2]]
+
+    def test_no_failures(self):
+        edges = np.array([[0, 1]])
+        survivors, _, forest = surviving_forest(2, edges, np.zeros(0, dtype=int))
+        assert len(survivors) == 2 and len(forest) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            surviving_forest(3, np.array([[0, 1]]), np.array([5]))
+
+
+class TestRepair:
+    def test_repair_spans_survivors(self, built):
+        pts, res = built
+        rng = np.random.default_rng(1)
+        failed = rng.choice(300, size=15, replace=False)
+        rep = repair_after_failures(pts, res.tree_edges, failed)
+        verify_spanning_tree(rep.n, rep.tree_edges, forest_ok=True)
+        assert rep.n == 285
+        assert rep.extras["n_failed"] == 15
+
+    def test_repair_quality_near_optimal(self, built):
+        """The repaired tree's cost is within ~2% of the from-scratch MST
+        of the survivors."""
+        pts, res = built
+        rng = np.random.default_rng(2)
+        failed = rng.choice(300, size=10, replace=False)
+        rep = repair_after_failures(pts, res.tree_edges, failed)
+        sub_pts = pts[rep.extras["survivors"]]
+        g = build_rgg(sub_pts, rep.extras["radius"])
+        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert len(rep.tree_edges) == len(opt)
+        ratio = tree_cost(sub_pts, rep.tree_edges) / tree_cost(sub_pts, opt)
+        assert 1.0 - 1e-12 <= ratio < 1.05
+
+    def test_repair_much_cheaper_than_rebuild(self, built):
+        """The point of incremental maintenance: repairing after a few
+        failures costs a fraction of rebuilding from scratch."""
+        pts, res = built
+        rng = np.random.default_rng(3)
+        failed = rng.choice(300, size=6, replace=False)
+        rep = repair_after_failures(pts, res.tree_edges, failed)
+        rebuild = run_modified_ghs(pts[rep.extras["survivors"]])
+        # The HELLO discovery is common to both; compare the GHS stages.
+        repair_ghs = rep.stats.energy_by_stage["repair:ghs"]
+        rebuild_ghs = rebuild.stats.energy_by_stage["phases"]
+        assert repair_ghs < 0.5 * rebuild_ghs
+        assert rep.phases <= rebuild.phases
+
+    def test_zero_failures_one_phase(self, built):
+        """Nothing failed: the single fragment discovers it has no MOE in
+        one phase and halts."""
+        pts, res = built
+        rep = repair_after_failures(pts, res.tree_edges, np.zeros(0, dtype=int))
+        assert rep.phases == 1
+        assert rep.extras["initial_fragments"] == 1
+        assert len(rep.tree_edges) == 299
+
+    def test_massive_failure(self, built):
+        """Half the network dies: repair still yields a valid forest."""
+        pts, res = built
+        rng = np.random.default_rng(4)
+        failed = rng.choice(300, size=150, replace=False)
+        rep = repair_after_failures(pts, res.tree_edges, failed)
+        verify_spanning_tree(rep.n, rep.tree_edges, forest_ok=True)
+
+    def test_failed_leader_is_survivable(self, built):
+        """Killing the old fragment leader (max id) must not matter — the
+        repair elects fresh leaders."""
+        pts, res = built
+        rep = repair_after_failures(pts, res.tree_edges, np.array([299]))
+        verify_spanning_tree(rep.n, rep.tree_edges, forest_ok=True)
+        assert rep.n == 299

@@ -1,0 +1,168 @@
+"""Tests for the centralized MST constructions (Kruskal, Prim, Delaunay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.geometry.points import clustered_points, perturbed_grid_points, uniform_points
+from repro.mst.delaunay import delaunay_edges, euclidean_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.mst.quality import tree_cost, verify_spanning_tree
+from repro.rgg.build import build_rgg, complete_graph
+
+from tests.conftest import brute_force_mst_cost
+
+
+class TestKruskal:
+    def test_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        weights = np.array([1.0, 2.0, 3.0])
+        t, w = kruskal_mst(3, edges, weights)
+        assert set(map(tuple, t)) == {(0, 1), (1, 2)}
+        assert list(w) == [1.0, 2.0]
+
+    def test_forest_on_disconnected(self):
+        edges = np.array([[0, 1], [2, 3]])
+        t, _ = kruskal_mst(4, edges, np.array([1.0, 1.0]))
+        assert len(t) == 2
+        verify_spanning_tree(4, t, forest_ok=True)
+
+    def test_deterministic_tie_break(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        weights = np.array([1.0, 1.0, 1.0])
+        t1, _ = kruskal_mst(3, edges, weights)
+        t2, _ = kruskal_mst(3, edges[::-1].copy(), weights)
+        assert set(map(tuple, t1)) == set(map(tuple, t2))
+
+    def test_self_loops_ignored(self):
+        edges = np.array([[0, 0], [0, 1]])
+        t, _ = kruskal_mst(2, edges, np.array([0.1, 1.0]))
+        assert set(map(tuple, t)) == {(0, 1)}
+
+    def test_empty(self):
+        t, w = kruskal_mst(3, np.zeros((0, 2)), np.zeros(0))
+        assert len(t) == 0 and len(w) == 0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            kruskal_mst(2, np.array([[0, 1]]), np.array([1.0, 2.0]))
+        with pytest.raises(GraphError):
+            kruskal_mst(2, np.array([[0, 5]]), np.array([1.0]))
+
+    def test_weights_ascending(self):
+        g = complete_graph(uniform_points(40, seed=0))
+        _, w = kruskal_mst(g.n, g.edges, g.lengths)
+        assert (np.diff(w) >= 0).all()
+
+
+class TestPrim:
+    def test_matches_kruskal_cost(self):
+        pts = uniform_points(80, seed=1)
+        g = build_rgg(pts, 0.3)
+        pe, pw = prim_mst(g)
+        ke, kw = kruskal_mst(g.n, g.edges, g.lengths)
+        assert pw.sum() == pytest.approx(kw.sum())
+        assert set(map(tuple, pe)) == set(map(tuple, ke))
+
+    def test_forest_on_disconnected(self):
+        pts = uniform_points(100, seed=2)
+        g = build_rgg(pts, 0.05)
+        e, _ = prim_mst(g)
+        verify_spanning_tree(g.n, e, forest_ok=True)
+        from repro.rgg.components import connected_components
+
+        n_comp = len(connected_components(g))
+        assert len(e) == g.n - n_comp
+
+    def test_empty_graph(self):
+        g = build_rgg(np.zeros((0, 2)), 0.1)
+        e, w = prim_mst(g)
+        assert len(e) == 0
+
+
+class TestEuclideanMST:
+    def test_matches_brute_force_cost(self):
+        pts = uniform_points(70, seed=3)
+        _, lengths = euclidean_mst(pts)
+        assert lengths.sum() == pytest.approx(brute_force_mst_cost(pts))
+
+    def test_matches_complete_graph_kruskal(self):
+        pts = uniform_points(50, seed=4)
+        de, dl = euclidean_mst(pts)
+        g = complete_graph(pts)
+        ke, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert set(map(tuple, de)) == set(map(tuple, ke))
+
+    def test_is_spanning_tree(self):
+        pts = uniform_points(200, seed=5)
+        e, _ = euclidean_mst(pts)
+        verify_spanning_tree(200, e)
+
+    def test_small_inputs(self):
+        assert euclidean_mst(np.zeros((0, 2)))[0].shape == (0, 2)
+        assert euclidean_mst(np.array([[0.5, 0.5]]))[0].shape == (0, 2)
+        e, w = euclidean_mst(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert len(e) == 1 and w[0] == pytest.approx(1.0)
+
+    def test_three_points(self):
+        pts = np.array([[0, 0], [1, 0], [0.5, 0.1]])
+        e, _ = euclidean_mst(pts)
+        verify_spanning_tree(3, e)
+
+    def test_collinear_points(self):
+        """Degenerate (Qhull-breaking) input falls back gracefully."""
+        pts = np.stack([np.linspace(0, 1, 10), np.zeros(10)], axis=1)
+        e, w = euclidean_mst(pts)
+        verify_spanning_tree(10, e)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_duplicate_points(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [0.2, 0.2]])
+        e, _ = euclidean_mst(pts)
+        verify_spanning_tree(3, e)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(5, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_optimal_cost(self, seed, n):
+        """Delaunay-restricted MST cost equals brute-force MST cost."""
+        pts = uniform_points(n, seed=seed)
+        _, lengths = euclidean_mst(pts)
+        assert lengths.sum() == pytest.approx(brute_force_mst_cost(pts))
+
+    def test_works_on_stress_workloads(self):
+        for pts in (
+            perturbed_grid_points(100, seed=0),
+            clustered_points(100, seed=0),
+        ):
+            e, _ = euclidean_mst(pts)
+            verify_spanning_tree(len(pts), e)
+
+    def test_alpha_equivalence(self):
+        """The tree minimising sum d also minimises sum d^2 (Sec. II)."""
+        pts = uniform_points(60, seed=6)
+        e, _ = euclidean_mst(pts)
+        g = complete_graph(pts)
+        sq_tree, _ = kruskal_mst(g.n, g.edges, g.lengths**2)
+        assert tree_cost(pts, e, 2.0) == pytest.approx(tree_cost(pts, sq_tree, 2.0))
+        assert set(map(tuple, e)) == set(map(tuple, sq_tree))
+
+
+class TestDelaunayEdges:
+    def test_contains_mst(self):
+        pts = uniform_points(100, seed=7)
+        dt = set(map(tuple, delaunay_edges(pts)))
+        mst, _ = euclidean_mst(pts)
+        assert set(map(tuple, mst)) <= dt
+
+    def test_linear_size(self):
+        pts = uniform_points(500, seed=8)
+        assert len(delaunay_edges(pts)) <= 3 * 500 - 6
+
+    def test_small_inputs(self):
+        assert len(delaunay_edges(np.zeros((1, 2)))) == 0
+        assert len(delaunay_edges(np.array([[0, 0], [1, 1.0]]))) == 1
+        assert len(delaunay_edges(uniform_points(3, seed=0))) == 3

@@ -1,0 +1,100 @@
+"""Tests for the centralized nearest-neighbour tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.points import uniform_points
+from repro.geometry.ranks import diagonal_ranks, lexicographic_ranks
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.nnt import (
+    nearest_higher_rank_target,
+    nearest_neighbor_tree,
+    nnt_edge_lengths,
+)
+from repro.mst.quality import tree_cost, verify_spanning_tree
+
+
+class TestConstruction:
+    def test_is_spanning_tree(self):
+        pts = uniform_points(150, seed=0)
+        e, _ = nearest_neighbor_tree(pts)
+        verify_spanning_tree(150, e)
+
+    def test_edge_count(self):
+        pts = uniform_points(40, seed=1)
+        e, w = nearest_neighbor_tree(pts)
+        assert len(e) == 39 and len(w) == 39
+
+    def test_small_inputs(self):
+        assert nearest_neighbor_tree(np.zeros((0, 2)))[0].shape == (0, 2)
+        assert nearest_neighbor_tree(np.array([[0.5, 0.5]]))[0].shape == (0, 2)
+
+    def test_two_points(self):
+        e, w = nearest_neighbor_tree(np.array([[0.1, 0.1], [0.9, 0.9]]))
+        assert set(map(tuple, e)) == {(0, 1)}
+
+    def test_each_node_connects_to_nearest_higher(self):
+        pts = uniform_points(60, seed=2)
+        ranks = diagonal_ranks(pts)
+        targets = nearest_higher_rank_target(pts, ranks)
+        for u in range(60):
+            higher = np.nonzero(ranks > ranks[u])[0]
+            if len(higher) == 0:
+                assert targets[u] == -1
+            else:
+                d = np.sqrt(((pts[higher] - pts[u]) ** 2).sum(axis=1))
+                assert targets[u] == higher[np.argmin(d)]
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_always_a_tree(self, seed, n):
+        """NNT construction never produces a cycle (edges point uphill)."""
+        pts = uniform_points(n, seed=seed)
+        e, _ = nearest_neighbor_tree(pts)
+        verify_spanning_tree(n, e)
+
+    def test_lexicographic_ranking_also_spans(self):
+        pts = uniform_points(100, seed=3)
+        e, _ = nearest_neighbor_tree(pts, lexicographic_ranks(pts))
+        verify_spanning_tree(100, e)
+
+
+class TestQuality:
+    def test_theorem_6_1_squared_cost(self):
+        """E[sum of squared NNT edges] <= 4 (Thm 6.1); typical values ~0.7."""
+        pts = uniform_points(3000, seed=4)
+        e, _ = nearest_neighbor_tree(pts)
+        assert tree_cost(pts, e, 2.0) <= 4.0
+
+    def test_constant_factor_vs_mst(self):
+        pts = uniform_points(1000, seed=5)
+        nnt, _ = nearest_neighbor_tree(pts)
+        mst, _ = euclidean_mst(pts)
+        ratio = tree_cost(pts, nnt, 1.0) / tree_cost(pts, mst, 1.0)
+        assert 1.0 <= ratio < 1.35  # paper observes ~1.1
+
+    def test_diagonal_avoids_long_edges(self):
+        """Diagonal ranking's max edge is O(sqrt(log n / n)); the
+        lexicographic ranking strands nodes with Theta(1) edges (the
+        paper's motivation for the new ranking — ablation ABL-K)."""
+        n = 2000
+        pts = uniform_points(n, seed=6)
+        diag_max = nnt_edge_lengths(pts, diagonal_ranks(pts)).max()
+        lex_max = nnt_edge_lengths(pts, lexicographic_ranks(pts)).max()
+        assert diag_max <= 3.0 * np.sqrt(np.log(n) / n)
+        assert lex_max > diag_max  # typically much larger
+
+    def test_nnt_cost_at_least_mst(self):
+        pts = uniform_points(300, seed=7)
+        nnt, _ = nearest_neighbor_tree(pts)
+        mst, _ = euclidean_mst(pts)
+        assert tree_cost(pts, nnt) >= tree_cost(pts, mst) - 1e-9
+
+    def test_nnt_edge_lengths_drops_top(self):
+        pts = uniform_points(25, seed=8)
+        lens = nnt_edge_lengths(pts)
+        assert len(lens) == 24
+        assert np.isfinite(lens).all()

@@ -1,0 +1,109 @@
+"""Direct numerical checks of the paper's remaining lemmas and constants.
+
+The benches check these on fixed grids; here they become part of the fast
+test suite (smaller instances) plus a couple of statements not covered
+elsewhere: Lemma 5.2 (good-cell probability tends to 1 with the cell
+constant), the Steele constants, and EOPT's parameter-robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.eopt import run_eopt
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import giant_radius
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.quality import same_tree
+from repro.percolation.cells import good_cell_mask, occupancy_grid
+from repro.rgg.build import build_rgg
+
+
+class TestLemma52:
+    """Lemma 5.2: Pr[cell is good] -> 1 as the cell constant c grows."""
+
+    def test_good_probability_increases_with_c(self):
+        n = 4000
+        pts = uniform_points(n, seed=0)
+        fracs = []
+        for c in (1.0, 2.0, 4.0, 8.0):
+            grid = occupancy_grid(pts, giant_radius(n, np.sqrt(c)))
+            fracs.append(float(good_cell_mask(grid).mean()))
+        assert all(a <= b + 0.02 for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] > 0.85
+
+    def test_matches_poisson_prediction(self):
+        """Good fraction ~ Pr[Poisson(c/4) >= max(c/8, 1)]."""
+        from scipy import stats
+
+        n, c = 8000, 8.0
+        pts = uniform_points(n, seed=1)
+        grid = occupancy_grid(pts, giant_radius(n, np.sqrt(c)))
+        measured = float(good_cell_mask(grid).mean())
+        mu, threshold = c / 4.0, max(c / 8.0, 1.0)
+        predicted = 1.0 - stats.poisson.cdf(np.ceil(threshold) - 1, mu)
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+
+class TestSteeleConstants:
+    """Steele's asymptotics (the paper's [26]): E[sum |e|] = Theta(sqrt n)
+    with the known constant ~0.65 for the Euclidean MST, and the squared
+    sum a constant."""
+
+    def test_mst_length_constant(self):
+        n = 5000
+        pts = uniform_points(n, seed=0)
+        _, lengths = euclidean_mst(pts)
+        const = lengths.sum() / np.sqrt(n)
+        assert 0.55 < const < 0.75
+
+    def test_length_scaling_sqrt_n(self):
+        sums = {}
+        for n in (1000, 4000):
+            _, lengths = euclidean_mst(uniform_points(n, seed=1))
+            sums[n] = lengths.sum()
+        assert sums[4000] / sums[1000] == pytest.approx(2.0, rel=0.12)
+
+    def test_sq_sum_constant_across_n(self):
+        vals = []
+        for n in (1000, 4000):
+            _, lengths = euclidean_mst(uniform_points(n, seed=2))
+            vals.append(float(np.sum(lengths**2)))
+        assert abs(vals[0] - vals[1]) < 0.15
+
+
+class TestEOPTParameterRobustness:
+    """EOPT must return the exact MST of the r2-RGG for *any* sensible
+    parameter combination — the constants only steer energy."""
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.6, 2.5),   # c1
+        st.floats(1.2, 2.5),   # c2
+        st.floats(0.1, 10.0),  # beta
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_exactness_under_any_constants(self, seed, c1, c2, beta):
+        pts = uniform_points(80, seed=seed)
+        res = run_eopt(pts, c1=c1, c2=c2, beta=beta)
+        g = build_rgg(pts, res.extras["r2"])
+        expected, _ = kruskal_mst(g.n, g.edges, g.lengths)
+        assert same_tree(res.tree_edges, expected)
+
+
+class TestKorachScale:
+    """Sanity check of the message scale behind Thm 4.1: even the
+    message-optimal GHS uses Omega(n log n) messages at the connectivity
+    radius, the quantity the lower bound converts into energy."""
+
+    def test_ghs_messages_superlinear(self):
+        from repro.algorithms.ghs import run_ghs
+
+        msgs = {}
+        for n in (200, 800):
+            msgs[n] = run_ghs(uniform_points(n, seed=0)).messages
+        # Superlinear growth: quadrupling n more than quadruples messages.
+        assert msgs[800] > 4.2 * msgs[200]

@@ -1,0 +1,41 @@
+"""Tests for the process-parallel sweep executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.parallel import sweep_energy_parallel
+from repro.experiments.runner import sweep_energy
+
+CFG = SweepConfig(ns=(50, 100), seeds=(0, 1), algorithms=("EOPT", "Co-NNT"))
+
+
+class TestParallelSweep:
+    def test_matches_serial_exactly(self):
+        """Every cell is deterministic, so parallel == serial bitwise."""
+        serial = sweep_energy(CFG)
+        parallel = sweep_energy_parallel(CFG, workers=2)
+        for alg in CFG.algorithms:
+            assert np.array_equal(serial.energy[alg], parallel.energy[alg])
+            assert np.array_equal(serial.messages[alg], parallel.messages[alg])
+            assert np.array_equal(serial.rounds[alg], parallel.rounds[alg])
+
+    def test_single_worker(self):
+        sweep = sweep_energy_parallel(
+            SweepConfig(ns=(50,), seeds=(0,), algorithms=("Co-NNT",)), workers=1
+        )
+        assert sweep.energy["Co-NNT"].shape == (1, 1)
+        assert sweep.energy["Co-NNT"][0, 0] > 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ExperimentError):
+            sweep_energy_parallel(CFG, workers=0)
+
+    def test_default_workers(self):
+        sweep = sweep_energy_parallel(
+            SweepConfig(ns=(50,), seeds=(0,), algorithms=("Co-NNT",))
+        )
+        assert sweep.config.ns == (50,)

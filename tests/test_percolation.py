@@ -1,0 +1,134 @@
+"""Tests for the percolation analytics (Thm 5.2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.geometry.radius import giant_radius
+from repro.percolation.cells import expected_cell_count, good_cell_mask, occupancy_grid
+from repro.percolation.giant import (
+    analyze_percolation,
+    giant_fraction,
+    small_region_node_counts,
+)
+
+
+class TestCells:
+    def test_grid_side_is_half_radius(self):
+        g = occupancy_grid(uniform_points(100, seed=0), 0.2)
+        assert g.side == pytest.approx(0.1)
+
+    def test_large_radius_clipped(self):
+        g = occupancy_grid(uniform_points(10, seed=0), 3.0)
+        assert g.side == 1.0
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            occupancy_grid(uniform_points(10, seed=0), 0.0)
+
+    def test_expected_cell_count(self):
+        # r = sqrt(c/n) -> expected = c/4.
+        n, c = 1000, 2.0
+        r = np.sqrt(c / n)
+        assert expected_cell_count(n, r) == pytest.approx(c / 4)
+
+    def test_counts_sum_to_n(self):
+        pts = uniform_points(500, seed=1)
+        g = occupancy_grid(pts, 0.05)
+        assert g.counts.sum() == 500
+
+    def test_good_cell_default_threshold(self):
+        """Default threshold is half the expected occupancy, floored at 1."""
+        pts = uniform_points(400, seed=2)
+        g = occupancy_grid(pts, giant_radius(400, 4.0))  # expected = 4 per cell
+        good = good_cell_mask(g)
+        assert good.dtype == bool
+        # threshold = max(expected/2, 1) = 2
+        assert (good == (g.counts >= 2)).all()
+
+    def test_good_cell_explicit_threshold(self):
+        pts = uniform_points(100, seed=3)
+        g = occupancy_grid(pts, 0.2)
+        assert (good_cell_mask(g, 1) == (g.counts >= 1)).all()
+
+    def test_empty_cells_never_good(self):
+        pts = uniform_points(50, seed=4)
+        g = occupancy_grid(pts, 0.1)
+        good = good_cell_mask(g, threshold=0.0)
+        assert not good[g.counts == 0].any()
+
+
+class TestGiant:
+    def test_giant_fraction_full_at_large_radius(self):
+        assert giant_fraction(uniform_points(100, seed=0), 2.0) == 1.0
+
+    def test_giant_fraction_small_at_tiny_radius(self):
+        assert giant_fraction(uniform_points(100, seed=0), 1e-6) == pytest.approx(0.01)
+
+    def test_empty_points(self):
+        assert giant_fraction(np.zeros((0, 2)), 0.5) == 0.0
+
+    def test_thm52_giant_exists(self):
+        """At r = 1.4 sqrt(1/n) a giant of >= alpha*n nodes exists
+        (Lemma 5.3 allows any alpha in (1/4, 1/2); empirically ~0.9)."""
+        for seed in range(3):
+            pts = uniform_points(2000, seed=seed)
+            assert giant_fraction(pts, giant_radius(2000)) > 0.5
+
+    def test_thm52_small_components(self):
+        """Non-giant components are O(log^2 n) nodes."""
+        n = 3000
+        pts = uniform_points(n, seed=1)
+        rep = analyze_percolation(pts, giant_radius(n))
+        assert rep.max_non_giant_component <= 2.5 * np.log(n) ** 2
+
+    def test_report_consistency(self):
+        n = 1000
+        pts = uniform_points(n, seed=2)
+        rep = analyze_percolation(pts, giant_radius(n))
+        assert rep.n == n
+        assert rep.component_sizes.sum() == n
+        assert 0 <= rep.good_cell_fraction <= 1
+        assert rep.giant_fraction == rep.component_sizes[0] / n
+
+    def test_beta_constant_bounded_across_n(self):
+        """Thm 5.2: beta = max small component / log^2 n stays bounded."""
+        betas = []
+        for n in (500, 1000, 2000):
+            rep = analyze_percolation(uniform_points(n, seed=3), giant_radius(n))
+            betas.append(rep.small_region_bound_constant())
+        assert max(betas) < 5.0
+
+    def test_supercritical_cells_have_giant_cluster(self):
+        """With c large, the good-cell lattice itself percolates
+        (the regime the proof of Thm 5.2 works in)."""
+        n = 4000
+        pts = uniform_points(n, seed=4)
+        rep = analyze_percolation(pts, giant_radius(n, c=4.0))
+        # Largest good cluster covers a constant fraction of all cells.
+        grid_cells = int(np.ceil(1.0 / (rep.cell_side))) ** 2
+        assert rep.largest_good_cluster_cells > 0.3 * grid_cells
+
+    def test_no_good_cells_single_region(self):
+        """With an absurd threshold, everything is one small region."""
+        pts = uniform_points(200, seed=5)
+        grid = occupancy_grid(pts, giant_radius(200))
+        good = good_cell_mask(grid, threshold=10**6)
+        regions, n_clusters, largest = small_region_node_counts(grid, good)
+        assert n_clusters == 0
+        assert largest == 0
+        assert regions.sum() == 200
+
+    def test_all_good_cells_no_small_regions(self):
+        """A dense instance where every cell is good: complement is empty."""
+        from repro.geometry.points import perturbed_grid_points
+
+        pts = perturbed_grid_points(1024, jitter=0.2, seed=6)
+        grid = occupancy_grid(pts, 4 / 32)  # side 1/16 -> 4 pts expected
+        good = good_cell_mask(grid, threshold=1)
+        regions, n_clusters, largest = small_region_node_counts(grid, good)
+        assert n_clusters == 1
+        assert regions.sum() == 0 or regions.max() == 0

@@ -1,0 +1,118 @@
+"""Tests for the point-process generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import (
+    clustered_points,
+    perturbed_grid_points,
+    poisson_points,
+    uniform_points,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform_points(100, seed=0)
+        assert pts.shape == (100, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_seeded_reproducible(self):
+        assert np.array_equal(uniform_points(50, seed=9), uniform_points(50, seed=9))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(uniform_points(50, seed=1), uniform_points(50, seed=2))
+
+    def test_zero_points(self):
+        assert uniform_points(0).shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            uniform_points(-1)
+
+    def test_generator_accepted(self):
+        rng = np.random.default_rng(4)
+        pts = uniform_points(10, seed=rng)
+        assert pts.shape == (10, 2)
+
+    def test_roughly_uniform(self):
+        """Quadrant counts should all be near n/4."""
+        pts = uniform_points(4000, seed=0)
+        quad = (pts[:, 0] > 0.5).astype(int) * 2 + (pts[:, 1] > 0.5).astype(int)
+        counts = np.bincount(quad, minlength=4)
+        assert counts.min() > 800 and counts.max() < 1200
+
+
+class TestPoisson:
+    def test_count_near_intensity(self):
+        pts = poisson_points(1000.0, seed=0)
+        assert 850 <= len(pts) <= 1150  # ~3 sigma
+
+    def test_zero_intensity(self):
+        assert len(poisson_points(0.0, seed=0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            poisson_points(-5.0)
+
+    def test_in_unit_square(self):
+        pts = poisson_points(200.0, seed=1)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_count_varies_with_seed(self):
+        counts = {len(poisson_points(100.0, seed=s)) for s in range(10)}
+        assert len(counts) > 1
+
+
+class TestPerturbedGrid:
+    def test_exact_count(self):
+        pts = perturbed_grid_points(37, seed=0)
+        assert pts.shape == (37, 2)
+
+    def test_zero_jitter_is_lattice(self):
+        pts = perturbed_grid_points(16, jitter=0.0, seed=0)
+        # All coordinates are odd multiples of 1/8 (cell centers of a 4x4 grid).
+        frac = pts * 8
+        assert np.allclose(frac, np.round(frac))
+
+    def test_jitter_bounds(self):
+        with pytest.raises(GeometryError):
+            perturbed_grid_points(10, jitter=0.5)
+        with pytest.raises(GeometryError):
+            perturbed_grid_points(10, jitter=-0.1)
+
+    def test_zero_points(self):
+        assert perturbed_grid_points(0).shape == (0, 2)
+
+    def test_near_deterministic_density(self):
+        """No empty quadrant even for modest n."""
+        pts = perturbed_grid_points(64, seed=3)
+        quad = (pts[:, 0] > 0.5).astype(int) * 2 + (pts[:, 1] > 0.5).astype(int)
+        assert np.bincount(quad, minlength=4).min() >= 8
+
+
+class TestClustered:
+    def test_shape(self):
+        pts = clustered_points(100, seed=0)
+        assert pts.shape == (100, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_param_validation(self):
+        with pytest.raises(GeometryError):
+            clustered_points(10, n_clusters=0)
+        with pytest.raises(GeometryError):
+            clustered_points(10, spread=0.0)
+        with pytest.raises(GeometryError):
+            clustered_points(-1)
+
+    def test_clustering_is_tighter_than_uniform(self):
+        """Mean nearest-neighbour distance is much smaller than uniform."""
+        from repro.rgg.connectivity import kth_nearest_distances
+
+        n = 400
+        clustered = kth_nearest_distances(clustered_points(n, spread=0.02, seed=0), 1)
+        uniform = kth_nearest_distances(uniform_points(n, seed=0), 1)
+        assert clustered.mean() < 0.6 * uniform.mean()

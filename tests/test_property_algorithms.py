@@ -1,0 +1,117 @@
+"""Property-based end-to-end tests: random instances, full protocol runs.
+
+These are the strongest correctness guards in the suite: for arbitrary
+seeded point sets and radii, the distributed protocols must agree with the
+centralized references edge-for-edge, and the energy ledger must stay
+internally consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs, run_modified_ghs
+from repro.geometry.points import uniform_points
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.nnt import nearest_neighbor_tree
+from repro.mst.quality import same_tree, verify_spanning_tree
+from repro.rgg.build import build_rgg
+
+seeds = st.integers(0, 2**31 - 1)
+sizes = st.integers(2, 80)
+radii = st.floats(0.05, 0.8)
+
+
+def reference_msf(points, radius):
+    g = build_rgg(points, radius)
+    return kruskal_mst(g.n, g.edges, g.lengths)[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, sizes, radii)
+def test_ghs_equals_reference_msf(seed, n, radius):
+    """Original GHS at any radius = Kruskal on the RGG, edge for edge."""
+    pts = uniform_points(n, seed=seed)
+    res = run_ghs(pts, radius=radius)
+    assert same_tree(res.tree_edges, reference_msf(pts, radius))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, sizes, radii)
+def test_mghs_equals_reference_msf(seed, n, radius):
+    pts = uniform_points(n, seed=seed)
+    res = run_modified_ghs(pts, radius=radius)
+    assert same_tree(res.tree_edges, reference_msf(pts, radius))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(2, 120))
+def test_eopt_equals_reference_msf(seed, n):
+    pts = uniform_points(n, seed=seed)
+    res = run_eopt(pts)
+    assert same_tree(res.tree_edges, reference_msf(pts, res.extras["r2"]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(1, 100))
+def test_connt_equals_centralized_nnt(seed, n):
+    pts = uniform_points(n, seed=seed)
+    res = run_connt(pts)
+    nnt, _ = nearest_neighbor_tree(pts)
+    assert same_tree(res.tree_edges, nnt)
+    verify_spanning_tree(n, res.tree_edges)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, st.integers(2, 60))
+def test_ledger_conservation(seed, n):
+    """Total energy == sum over kinds == sum over stages == sum over nodes,
+    for every algorithm."""
+    pts = uniform_points(n, seed=seed)
+    for res in (run_ghs(pts), run_eopt(pts), run_connt(pts)):
+        s = res.stats
+        assert s.energy_total == pytest.approx(sum(s.energy_by_kind.values()))
+        assert s.energy_total == pytest.approx(sum(s.energy_by_stage.values()))
+        assert s.energy_total == pytest.approx(float(s.energy_by_node.sum()))
+        assert s.messages_total == sum(s.messages_by_kind.values())
+        assert s.messages_total == sum(s.messages_by_stage.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(2, 60))
+def test_determinism(seed, n):
+    """Same instance, same algorithm -> identical tree, energy, messages."""
+    pts = uniform_points(n, seed=seed)
+    a, b = run_eopt(pts), run_eopt(pts)
+    assert same_tree(a.tree_edges, b.tree_edges)
+    assert a.energy == b.energy
+    assert a.messages == b.messages
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(4, 60))
+def test_message_payloads_are_constant_size(seed, n):
+    """The paper's O(log n)-bit message assumption: every payload field is
+    a scalar (id / fid / coordinate / count), never a collection."""
+    from repro.sim.kernel import SynchronousKernel
+
+    recorded = []
+    original = SynchronousKernel._send_unicast
+
+    def spy(self, src, dst, kind, payload):
+        recorded.append(payload)
+        original(self, src, dst, kind, payload)
+
+    SynchronousKernel._send_unicast = spy
+    try:
+        run_eopt(uniform_points(n, seed=seed))
+    finally:
+        SynchronousKernel._send_unicast = original
+    for payload in recorded:
+        assert len(payload) <= 3
+        for field in payload:
+            assert np.isscalar(field) or isinstance(field, (int, float))

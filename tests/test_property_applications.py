@@ -1,0 +1,71 @@
+"""Property-based tests for the application layer over random trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.aggregation import simulate_aggregation
+from repro.applications.broadcast import simulate_tree_broadcast
+from repro.applications.maintenance import repair_after_failures
+from repro.geometry.points import uniform_points
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.nnt import nearest_neighbor_tree
+from repro.mst.quality import tree_cost, verify_spanning_tree
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, st.integers(2, 60), st.sampled_from(["sum", "min", "max", "avg"]))
+def test_aggregation_exact_over_any_tree(seed, n, op):
+    """Aggregation over *any* spanning tree (here: the NNT, a skewed one)
+    computes the exact aggregate, from any sink."""
+    pts = uniform_points(n, seed=seed)
+    tree, _ = nearest_neighbor_tree(pts)
+    rng = np.random.default_rng(seed)
+    vals = rng.normal(size=n)
+    sink = int(rng.integers(0, n))
+    result, stats = simulate_aggregation(pts, tree, sink, vals, op=op)
+    expected = {"sum": vals.sum(), "min": vals.min(), "max": vals.max(),
+                "avg": vals.mean()}[op]
+    assert result == pytest.approx(expected)
+    assert stats.messages_total == n - 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, st.integers(1, 60))
+def test_broadcast_covers_any_tree_from_any_source(seed, n):
+    pts = uniform_points(n, seed=seed)
+    tree, _ = euclidean_mst(pts)
+    source = int(np.random.default_rng(seed).integers(0, n))
+    reached, stats = simulate_tree_broadcast(pts, tree, source)
+    assert reached == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(10, 80), st.integers(0, 5))
+def test_repair_always_valid(seed, n, n_fail):
+    """Arbitrary failures on an arbitrary built tree: the repair always
+    yields an acyclic forest spanning each survivor component."""
+    pts = uniform_points(n, seed=seed)
+    tree, _ = euclidean_mst(pts)
+    rng = np.random.default_rng(seed)
+    n_fail = min(n_fail, n - 2)
+    failed = rng.choice(n, size=n_fail, replace=False)
+    rep = repair_after_failures(pts, tree, failed, radius=2.0)
+    verify_spanning_tree(rep.n, rep.tree_edges, forest_ok=True)
+    # Radius 2.0 covers the whole square: the forest must be a tree.
+    assert len(rep.tree_edges) == rep.n - 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(5, 50))
+def test_aggregation_energy_is_tree_energy(seed, n):
+    """Aggregation energy over any tree == sum of d^2 over its edges —
+    the identity connecting the application to L_MST."""
+    pts = uniform_points(n, seed=seed)
+    tree, _ = euclidean_mst(pts)
+    _, stats = simulate_aggregation(pts, tree, 0, np.ones(n))
+    assert stats.energy_total == pytest.approx(tree_cost(pts, tree, alpha=2.0))

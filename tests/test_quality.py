@@ -1,0 +1,112 @@
+"""Tests for tree verification and cost metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CycleError, GraphError, NotSpanningError
+from repro.geometry.points import uniform_points
+from repro.mst.delaunay import euclidean_mst
+from repro.mst.quality import (
+    approximation_ratio,
+    same_tree,
+    tree_cost,
+    verify_spanning_tree,
+)
+
+
+class TestVerify:
+    def test_accepts_valid_tree(self):
+        verify_spanning_tree(3, np.array([[0, 1], [1, 2]]))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError):
+            verify_spanning_tree(3, np.array([[0, 1], [1, 2], [0, 2]]))
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(CycleError):
+            verify_spanning_tree(3, np.array([[0, 1], [0, 1], [1, 2]]))
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(NotSpanningError):
+            verify_spanning_tree(4, np.array([[0, 1], [2, 3]]))
+
+    def test_forest_ok_flag(self):
+        verify_spanning_tree(4, np.array([[0, 1], [2, 3]]), forest_ok=True)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            verify_spanning_tree(2, np.array([[0, 0]]), forest_ok=True)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            verify_spanning_tree(2, np.array([[0, 2]]))
+
+    def test_empty_tree_single_node(self):
+        verify_spanning_tree(1, np.zeros((0, 2)))
+
+    def test_empty_tree_multi_node_fails(self):
+        with pytest.raises(NotSpanningError):
+            verify_spanning_tree(2, np.zeros((0, 2)))
+
+
+class TestTreeCost:
+    def test_unit_edge(self):
+        pts = np.array([[0, 0], [1, 0.0]])
+        assert tree_cost(pts, np.array([[0, 1]]), 1.0) == 1.0
+        assert tree_cost(pts, np.array([[0, 1]]), 2.0) == 1.0
+
+    def test_alpha_scaling(self):
+        pts = np.array([[0, 0], [0.5, 0.0]])
+        e = np.array([[0, 1]])
+        assert tree_cost(pts, e, 2.0) == pytest.approx(0.25)
+        assert tree_cost(pts, e, 3.0) == pytest.approx(0.125)
+
+    def test_empty(self):
+        assert tree_cost(uniform_points(5), np.zeros((0, 2))) == 0.0
+
+    def test_bad_alpha(self):
+        with pytest.raises(GraphError):
+            tree_cost(uniform_points(5), np.array([[0, 1]]), alpha=0.0)
+
+    def test_additive(self):
+        pts = uniform_points(30, seed=0)
+        e, _ = euclidean_mst(pts)
+        total = tree_cost(pts, e)
+        assert total == pytest.approx(
+            tree_cost(pts, e[:10]) + tree_cost(pts, e[10:])
+        )
+
+
+class TestApproximationRatio:
+    def test_mst_against_itself(self):
+        pts = uniform_points(50, seed=1)
+        e, _ = euclidean_mst(pts)
+        assert approximation_ratio(pts, e, e) == 1.0
+
+    def test_worse_tree_above_one(self):
+        pts = np.array([[0, 0], [0.1, 0], [1.0, 0]])
+        opt = np.array([[0, 1], [1, 2]])
+        bad = np.array([[0, 2], [0, 1]])
+        assert approximation_ratio(pts, bad, opt) > 1.0
+
+    def test_zero_optimum(self):
+        pts = np.array([[0.5, 0.5]])
+        assert approximation_ratio(pts, np.zeros((0, 2)), np.zeros((0, 2))) == 1.0
+
+
+class TestSameTree:
+    def test_equal_sets(self):
+        a = np.array([[0, 1], [1, 2]])
+        b = np.array([[2, 1], [1, 0]])  # reversed rows and order
+        assert same_tree(a, b)
+
+    def test_different_sets(self):
+        assert not same_tree(np.array([[0, 1]]), np.array([[0, 2]]))
+
+    def test_different_sizes(self):
+        assert not same_tree(np.array([[0, 1]]), np.zeros((0, 2)))
+
+    def test_empty_equal(self):
+        assert same_tree(np.zeros((0, 2)), np.zeros((0, 2)))

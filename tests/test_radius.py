@@ -1,0 +1,66 @@
+"""Tests for the radius laws."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.radius import (
+    PAPER_EOPT_STEP1_CONST,
+    PAPER_GHS_RADIUS_CONST,
+    connectivity_radius,
+    giant_radius,
+)
+
+
+class TestConnectivityRadius:
+    def test_formula(self):
+        n = 1000
+        assert connectivity_radius(n, 1.6) == pytest.approx(
+            1.6 * math.sqrt(math.log(n) / n)
+        )
+
+    def test_defaults_to_paper_constant(self):
+        assert PAPER_GHS_RADIUS_CONST == 1.6
+        assert connectivity_radius(500) == connectivity_radius(500, 1.6)
+
+    def test_degenerate_n(self):
+        assert connectivity_radius(0) == math.sqrt(2)
+        assert connectivity_radius(1) == math.sqrt(2)
+
+    def test_capped_at_diameter(self):
+        assert connectivity_radius(2, c=100.0) == math.sqrt(2)
+
+    def test_decreasing_in_n(self):
+        rs = [connectivity_radius(n) for n in (100, 1000, 10000)]
+        assert rs[0] > rs[1] > rs[2]
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            connectivity_radius(-1)
+        with pytest.raises(GeometryError):
+            connectivity_radius(10, c=0)
+
+
+class TestGiantRadius:
+    def test_formula(self):
+        assert giant_radius(400, 1.4) == pytest.approx(1.4 / 20.0)
+
+    def test_defaults_to_paper_constant(self):
+        assert PAPER_EOPT_STEP1_CONST == 1.4
+
+    def test_below_connectivity_radius_for_large_n(self):
+        """r1 < r2 exactly when c1 < c2 sqrt(log n): holds from small n on."""
+        for n in (50, 500, 5000):
+            assert giant_radius(n) < connectivity_radius(n)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            giant_radius(-2)
+        with pytest.raises(GeometryError):
+            giant_radius(10, c=-1)
+
+    def test_zero_n(self):
+        assert giant_radius(0) == math.sqrt(2)

@@ -1,0 +1,102 @@
+"""Tests for the diagonal and lexicographic rankings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.geometry.ranks import diagonal_ranks, lexicographic_ranks, rank_permutation
+
+coords = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestDiagonal:
+    def test_simple_order(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        r = diagonal_ranks(pts)
+        assert r[0] == 0 and r[1] == 2 and r[2] == 1
+
+    def test_tie_broken_by_y(self):
+        # Same diagonal x+y = 1: smaller y ranks lower.
+        pts = np.array([[0.9, 0.1], [0.1, 0.9]])
+        r = diagonal_ranks(pts)
+        assert r[0] == 0 and r[1] == 1
+
+    def test_is_permutation(self):
+        pts = uniform_points(100, seed=0)
+        r = diagonal_ranks(pts)
+        assert sorted(r) == list(range(100))
+
+    def test_top_rank_is_max_diagonal(self):
+        pts = uniform_points(200, seed=1)
+        r = diagonal_ranks(pts)
+        top = int(np.argmax(r))
+        s = pts[:, 0] + pts[:, 1]
+        assert s[top] == s.max()
+
+    @given(coords)
+    def test_permutation_property(self, pts):
+        r = diagonal_ranks(np.array(pts))
+        assert sorted(r) == list(range(len(pts)))
+
+    @given(coords)
+    def test_order_respects_diagonal(self, pts):
+        arr = np.array(pts)
+        r = diagonal_ranks(arr)
+        s = arr[:, 0] + arr[:, 1]
+        for i in range(len(arr)):
+            for j in range(len(arr)):
+                if s[i] < s[j]:
+                    assert r[i] < r[j]
+
+    def test_bad_shape(self):
+        with pytest.raises(GeometryError):
+            diagonal_ranks(np.zeros((3, 3)))
+
+
+class TestLexicographic:
+    def test_simple_order(self):
+        pts = np.array([[0.5, 0.0], [0.1, 0.9], [0.5, 0.2]])
+        r = lexicographic_ranks(pts)
+        assert r[1] == 0  # smallest x
+        assert r[0] == 1  # x=0.5 tie, y=0 before y=0.2
+        assert r[2] == 2
+
+    @given(coords)
+    def test_permutation_property(self, pts):
+        r = lexicographic_ranks(np.array(pts))
+        assert sorted(r) == list(range(len(pts)))
+
+    @given(coords)
+    def test_order_respects_x(self, pts):
+        arr = np.array(pts)
+        r = lexicographic_ranks(arr)
+        for i in range(len(arr)):
+            for j in range(len(arr)):
+                if arr[i, 0] < arr[j, 0]:
+                    assert r[i] < r[j]
+
+
+class TestRankPermutation:
+    def test_round_trip(self):
+        pts = uniform_points(50, seed=2)
+        r = diagonal_ranks(pts)
+        order = rank_permutation(r)
+        assert np.array_equal(r[order], np.arange(50))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GeometryError):
+            rank_permutation(np.array([0, 0, 2]))
+
+    def test_empty(self):
+        assert rank_permutation(np.zeros(0, dtype=np.int64)).shape == (0,)

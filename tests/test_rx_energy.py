@@ -1,0 +1,98 @@
+"""Tests for the reception-energy extension (paper Sec. VIII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connt import run_connt
+from repro.algorithms.eopt import run_eopt
+from repro.algorithms.ghs import run_ghs
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.mst.quality import same_tree
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.node import NodeProcess
+
+
+class Hello(NodeProcess):
+    def on_wake(self, signal, payload=()):
+        self.ctx.local_broadcast(payload[0], "H")
+
+
+class TestKernelRx:
+    def test_default_off(self):
+        pts = uniform_points(20, seed=0)
+        k = SynchronousKernel(pts, max_radius=1.0)
+        k.add_nodes(Hello)
+        k.start()
+        k.wake(range(20), "go", (0.5,))
+        k.run_until_quiescent()
+        s = k.stats()
+        assert s.rx_energy_total == 0.0
+        assert s.receptions_total == 0
+
+    def test_rx_charged_per_delivery(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]])
+        k = SynchronousKernel(pts, max_radius=1.0, rx_cost=0.01)
+        k.add_nodes(Hello)
+        k.start()
+        k.wake([0], "go", (0.15,))  # reaches node 1 only
+        k.run_until_quiescent()
+        s = k.stats()
+        assert s.receptions_total == 1
+        assert s.rx_energy_total == pytest.approx(0.01)
+        assert s.rx_energy_by_node[1] == pytest.approx(0.01)
+        assert s.rx_energy_by_node[0] == 0.0
+        # TX-side metric untouched.
+        assert s.energy_total == pytest.approx(0.15**2)
+        assert s.total_energy_with_rx == pytest.approx(0.15**2 + 0.01)
+
+    def test_negative_rx_rejected(self):
+        with pytest.raises(GeometryError):
+            SynchronousKernel(uniform_points(5), max_radius=1.0, rx_cost=-1.0)
+
+    def test_contention_kernel_charges_rx(self):
+        from repro.sim.interference import ContentionKernel
+
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [0.1, 0.0]])
+        k = ContentionKernel(pts, max_radius=1.0, rx_cost=0.5)
+        k.add_nodes(Hello)
+        k.start()
+        k.wake(range(3), "go", (0.2,))
+        k.run_until_quiescent()
+        assert k.stats().receptions_total == 6  # everyone hears everyone
+
+
+class TestAlgorithmsWithRx:
+    def test_tree_unchanged(self):
+        """rx accounting is observational: protocols behave identically."""
+        pts = uniform_points(120, seed=0)
+        a = run_eopt(pts)
+        b = run_eopt(pts, rx_cost=0.001)
+        assert same_tree(a.tree_edges, b.tree_edges)
+        assert a.energy == pytest.approx(b.energy)
+        assert b.stats.rx_energy_total > 0
+
+    def test_receptions_track_deliveries(self):
+        """Co-NNT: every unicast has 1 receiver; REQUEST broadcasts have
+        however many listeners were in range — receptions >= messages."""
+        pts = uniform_points(100, seed=1)
+        res = run_connt(pts, rx_cost=1.0)
+        assert res.stats.receptions_total >= res.stats.messages_total
+        assert res.stats.rx_energy_total == pytest.approx(
+            float(res.stats.receptions_total)
+        )
+
+    def test_rx_penalises_chatty_ghs_hardest(self):
+        """Under reception costs the message-hungry GHS falls even further
+        behind EOPT — the Sec. VIII observation that TX-only accounting
+        understates the gap."""
+        pts = uniform_points(400, seed=2)
+        rx = 1e-4
+        ghs = run_ghs(pts, rx_cost=rx)
+        eopt = run_eopt(pts, rx_cost=rx)
+        gap_tx = ghs.energy / eopt.energy
+        gap_total = ghs.stats.total_energy_with_rx / eopt.stats.total_energy_with_rx
+        assert gap_total > 1.0
+        assert ghs.stats.receptions_total > eopt.stats.receptions_total

@@ -1,0 +1,89 @@
+"""Tests for the SVG renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.mst.delaunay import euclidean_mst
+from repro.percolation.cells import good_cell_mask, occupancy_grid
+from repro.viz.svg import SvgCanvas, render_instance, render_percolation
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestCanvas:
+    def test_valid_xml(self):
+        c = SvgCanvas()
+        c.circle(0.5, 0.5, 3)
+        c.line(0, 0, 1, 1)
+        c.rect(0.1, 0.1, 0.2, 0.2)
+        c.text(0.5, 0.9, "hi <&>")
+        root = parse(c.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_coordinate_mapping_flips_y(self):
+        c = SvgCanvas(size=100, margin=0)
+        assert c.px(0.0, 0.0) == (0.0, 100.0)  # bottom-left -> bottom of canvas
+        assert c.px(1.0, 1.0) == (100.0, 0.0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(GeometryError):
+            SvgCanvas(size=10, margin=5)
+        with pytest.raises(GeometryError):
+            SvgCanvas(size=-1)
+
+    def test_save(self, tmp_path):
+        c = SvgCanvas()
+        c.circle(0.5, 0.5, 1)
+        path = c.save(tmp_path / "x.svg")
+        assert path.read_text().startswith("<svg")
+
+
+class TestRenderInstance:
+    def test_counts(self):
+        pts = uniform_points(40, seed=0)
+        mst, _ = euclidean_mst(pts)
+        svg = render_instance(pts, {"MST": mst}).to_string()
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        circles = root.findall(f"{ns}circle")
+        lines = root.findall(f"{ns}line")
+        assert len(circles) == 40
+        assert len(lines) == 39
+
+    def test_two_edge_sets_get_two_colors(self):
+        pts = uniform_points(20, seed=1)
+        mst, _ = euclidean_mst(pts)
+        svg = render_instance(pts, {"A": mst, "B": mst}).to_string()
+        assert "#d62728" in svg and "#2ca02c" in svg
+
+    def test_no_edges(self):
+        svg = render_instance(uniform_points(10, seed=2)).to_string()
+        assert parse(svg) is not None
+
+    def test_bad_points(self):
+        with pytest.raises(GeometryError):
+            render_instance(np.zeros((3, 3)))
+
+
+class TestRenderPercolation:
+    def test_renders_cells(self):
+        pts = uniform_points(500, seed=0)
+        grid = occupancy_grid(pts, 0.2)
+        good = good_cell_mask(grid)
+        svg = render_percolation(grid.counts, good).to_string()
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        assert len(rects) > 10  # background + cells
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            render_percolation(np.zeros((3, 3)), np.zeros((2, 2), dtype=bool))
