@@ -1,0 +1,20 @@
+# Convenience targets; see ROADMAP.md for the tier definitions.
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify perf-smoke bench
+
+# Tier 1: the full unit/property suite (must stay green).
+verify:
+	$(PY) -m pytest -x -q
+
+# Tier 2: kernel hot-path perf smoke — times the optimized kernel against
+# the frozen legacy kernel and fails loudly if stats diverge from the
+# golden snapshot.  Writes benchmarks/out/BENCH_kernel.json.
+perf-smoke:
+	$(PY) benchmarks/bench_kernel_hotpath.py --quick
+
+# Full kernel benchmark (n=2000, best-of-3).
+bench:
+	$(PY) benchmarks/bench_kernel_hotpath.py

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Kernel hot-path benchmark: fast kernel vs the frozen legacy kernel.
+
+Runs modified GHS and EOPT on fixed (n, seed) instances through both
+:class:`~repro.sim.kernel.SynchronousKernel` (the optimized hot path) and
+:class:`~repro.sim.legacy.LegacyKernel` (the pre-optimization reference),
+interleaved and best-of-``--reps`` timed.  Three checks, each fatal:
+
+* the two kernels must produce **bit-identical** energy / message / round
+  stats and the same MST size (exit code 2 on mismatch);
+* the stats must match the golden snapshot in
+  ``benchmarks/golden/kernel_hotpath.json`` (exit code 1 on divergence —
+  a semantic regression, not a perf one);
+* results land in ``benchmarks/out/BENCH_kernel.json`` (timings, speedups,
+  stats, and a ``repro.perf`` snapshot of the instrumented run).
+
+Usage::
+
+    python benchmarks/bench_kernel_hotpath.py --quick   # tier-2 smoke
+    python benchmarks/bench_kernel_hotpath.py           # full (n=2000)
+    python benchmarks/bench_kernel_hotpath.py --write-golden
+
+Not a pytest file on purpose: the tier-2 smoke target calls it directly
+so the golden comparison's exit code gates CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.algorithms.eopt import run_eopt  # noqa: E402
+from repro.algorithms.ghs import run_modified_ghs  # noqa: E402
+from repro.geometry.points import uniform_points  # noqa: E402
+from repro.perf import perf  # noqa: E402
+from repro.sim.legacy import LegacyKernel  # noqa: E402
+
+GOLDEN_PATH = REPO / "benchmarks" / "golden" / "kernel_hotpath.json"
+OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_kernel.json"
+
+RUNNERS = {"MGHS": run_modified_ghs, "EOPT": run_eopt}
+
+#: (algorithm, n, seed) per mode; quick is the tier-2 smoke subset.
+QUICK_CONFIGS = [("MGHS", 600, 7), ("EOPT", 600, 7)]
+FULL_CONFIGS = QUICK_CONFIGS + [("MGHS", 2000, 7), ("EOPT", 2000, 7)]
+
+
+def _stats_record(res) -> dict:
+    return {
+        "energy_total": res.stats.energy_total,
+        "messages_total": int(res.stats.messages_total),
+        "rounds": int(res.stats.rounds),
+        "n_tree_edges": int(len(res.tree_edges)),
+    }
+
+
+def _run_once(alg: str, pts, kernel_cls=None):
+    kwargs = {"kernel_cls": kernel_cls} if kernel_cls is not None else {}
+    t0 = time.perf_counter()
+    res = RUNNERS[alg](pts, **kwargs)
+    return res, time.perf_counter() - t0
+
+
+def bench_config(alg: str, n: int, seed: int, reps: int) -> dict:
+    pts = uniform_points(n, seed=seed)
+    # Warm both paths (KD-tree build, allocator, branch predictors).
+    _run_once(alg, pts, LegacyKernel)
+    _run_once(alg, pts)
+    legacy_times, new_times = [], []
+    legacy_res = new_res = None
+    for _ in range(reps):
+        legacy_res, dt = _run_once(alg, pts, LegacyKernel)
+        legacy_times.append(dt)
+        new_res, dt = _run_once(alg, pts)
+        new_times.append(dt)
+    legacy_s, new_s = min(legacy_times), min(new_times)
+    return {
+        "alg": alg,
+        "n": n,
+        "seed": seed,
+        "legacy_s": round(legacy_s, 4),
+        "new_s": round(new_s, 4),
+        "speedup": round(legacy_s / new_s, 2),
+        "stats": _stats_record(new_res),
+        "legacy_stats": _stats_record(legacy_res),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small-n smoke subset")
+    ap.add_argument("--reps", type=int, default=None, help="timed reps (best-of)")
+    ap.add_argument(
+        "--write-golden",
+        action="store_true",
+        help="(re)write the golden stats snapshot instead of checking it",
+    )
+    args = ap.parse_args(argv)
+    if args.reps is not None and args.reps < 1:
+        ap.error(f"--reps must be >= 1, got {args.reps}")
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+
+    rows = []
+    failures = []
+    for alg, n, seed in configs:
+        row = bench_config(alg, n, seed, reps)
+        if row["stats"] != row["legacy_stats"]:
+            failures.append(
+                f"{alg} n={n} seed={seed}: fast kernel diverged from legacy: "
+                f"{row['stats']} != {row['legacy_stats']}"
+            )
+        rows.append(row)
+        print(
+            f"{alg:5s} n={n:5d} seed={seed}  legacy {row['legacy_s']:7.3f}s  "
+            f"new {row['new_s']:7.3f}s  speedup {row['speedup']:.2f}x"
+        )
+    if failures:
+        for f in failures:
+            print("FATAL:", f, file=sys.stderr)
+        return 2
+
+    golden = {f"{alg}:{n}:{seed}": row["stats"] for (alg, n, seed), row in zip(configs, rows)}
+    if args.write_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        # Merge so quick/full runs keep each other's entries.
+        merged = json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        merged.update(golden)
+        GOLDEN_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"golden written to {GOLDEN_PATH}")
+    elif GOLDEN_PATH.exists():
+        expected = json.loads(GOLDEN_PATH.read_text())
+        for key, stats in golden.items():
+            if key in expected and expected[key] != stats:
+                failures.append(
+                    f"golden divergence for {key}: got {stats}, expected {expected[key]}"
+                )
+    else:
+        print(f"warning: no golden snapshot at {GOLDEN_PATH}; run --write-golden")
+
+    # One instrumented pass (perf enabled) for the observability record.
+    perf.reset()
+    perf.enable()
+    alg, n, seed = configs[0]
+    _run_once(alg, uniform_points(n, seed=seed))
+    perf_snapshot = perf.snapshot()
+    perf.disable()
+
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "quick": args.quick,
+                "reps": reps,
+                "configs": rows,
+                "perf": perf_snapshot,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"results written to {OUT_PATH}")
+
+    if failures:
+        for f in failures:
+            print("FATAL:", f, file=sys.stderr)
+        return 1
+    min_speedup = min(row["speedup"] for row in rows)
+    print(f"min speedup: {min_speedup:.2f}x (stats identical on both kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ from repro.geometry.radius import (
     connectivity_radius,
     giant_radius,
 )
+from repro.perf import perf
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -63,6 +64,7 @@ def run_eopt(
     beta: float = 1.0,
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
+    kernel_cls: type[SynchronousKernel] = SynchronousKernel,
 ) -> AlgorithmResult:
     """Run EOPT on ``points``; returns the exact MST of the radius-``r2`` RGG.
 
@@ -78,6 +80,9 @@ def run_eopt(
         Giant-declaration threshold multiplier for ``beta log^2 n``.
     power:
         Path-loss model; defaults to ``a=1, alpha=2``.
+    kernel_cls:
+        Kernel implementation (benchmarks pass
+        :class:`~repro.sim.legacy.LegacyKernel` for the pre-PR baseline).
     """
     pts = np.asarray(points, dtype=float)
     n = len(pts)
@@ -88,22 +93,25 @@ def run_eopt(
         # step 2 still raises power rather than lowering it.
         r1 = r2
 
-    kernel = SynchronousKernel(pts, max_radius=r1, power=power, rx_cost=rx_cost)
+    kernel = kernel_cls(pts, max_radius=r1, power=power, rx_cost=rx_cost)
     kernel.add_nodes(lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True))
     kernel.start()
     nodes = kernel.nodes
 
     # ---- Step 1: modified GHS at the giant-component radius -----------------
     kernel.set_stage("step1:hello")
-    hello_round(kernel, r1)
+    with perf.timed("eopt.step1.hello"):
+        hello_round(kernel, r1)
     kernel.set_stage("step1:ghs")
-    phases1 = run_ghs_phases(kernel, nodes)
+    with perf.timed("eopt.step1.phases"):
+        phases1 = run_ghs_phases(kernel, nodes)
 
     # ---- Interlude: fragment size census + giant declaration ----------------
     kernel.set_stage("step2:size")
     leaders = [nd.id for nd in nodes if nd.leader]
-    kernel.wake(leaders, "size")
-    kernel.run_until_quiescent()
+    with perf.timed("eopt.census"):
+        kernel.wake(leaders, "size")
+        kernel.run_until_quiescent()
     threshold = giant_size_threshold(n, beta)
     giant_leaders = [
         nd
@@ -124,11 +132,13 @@ def run_eopt(
     # ---- Step 2: raise power, rediscover, resume over small fragments -------
     kernel.set_max_radius(r2)
     kernel.set_stage("step2:hello")
-    hello_round(kernel, r2)
+    with perf.timed("eopt.step2.hello"):
+        hello_round(kernel, r2)
     kernel.set_stage("step2:ghs")
     small_leaders = [nd.id for nd in nodes if nd.leader and not nd.passive]
     kernel.wake(small_leaders, "activate")
-    phases2 = run_ghs_phases(kernel, nodes, start_phase=phases1 + 1)
+    with perf.timed("eopt.step2.phases"):
+        phases2 = run_ghs_phases(kernel, nodes, start_phase=phases1 + 1)
 
     if active_leaders(nodes):  # pragma: no cover - defensive
         raise ProtocolError("EOPT finished with active fragments remaining")

@@ -279,11 +279,15 @@ class GHSNode(NodeProcess):
         else:
             best_nb, best_key = None, NO_EDGE
             fid = self.fid
+            me = self.id
             neighbors = self.neighbors
             for nb, nb_fid in self.nb_fragment.items():
                 if nb_fid == fid:
                     continue
-                key = self._edge_key(nb, neighbors[nb])
+                # Inlined _edge_key: this scan runs once per node per phase
+                # over the whole neighbour cache — the algorithm-side hot loop.
+                d = neighbors[nb]
+                key = (d, me, nb) if me < nb else (d, nb, me)
                 if key < best_key:
                     best_key, best_nb = key, nb
             self._cand_nb = best_nb

@@ -13,6 +13,7 @@ from repro.algorithms.base import AlgorithmResult, collect_tree_edges
 from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
 from repro.algorithms.ghs.node import GHSNode
 from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
+from repro.perf import perf
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -27,19 +28,22 @@ def _run_family(
     radius_const: float,
     power: PathLossModel | None,
     rx_cost: float = 0.0,
+    kernel_cls: type[SynchronousKernel] = SynchronousKernel,
 ) -> AlgorithmResult:
     pts = np.asarray(points, dtype=float)
     n = len(pts)
     r = connectivity_radius(n, radius_const) if radius is None else float(radius)
-    kernel = SynchronousKernel(pts, max_radius=r, power=power, rx_cost=rx_cost)
+    kernel = kernel_cls(pts, max_radius=r, power=power, rx_cost=rx_cost)
     kernel.add_nodes(
         lambda i, ctx: GHSNode(i, ctx, use_tests=use_tests, announce=announce)
     )
     kernel.start()
     kernel.set_stage("hello")
-    hello_round(kernel, r)
+    with perf.timed(f"{name.lower()}.hello"):
+        hello_round(kernel, r)
     kernel.set_stage("phases")
-    phases = run_ghs_phases(kernel, kernel.nodes)
+    with perf.timed(f"{name.lower()}.phases"):
+        phases = run_ghs_phases(kernel, kernel.nodes)
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in kernel.nodes)
     stats = kernel.stats()
     fragments = {nd.fid for nd in kernel.nodes}
@@ -64,6 +68,7 @@ def run_ghs(
     radius_const: float = PAPER_GHS_RADIUS_CONST,
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
+    kernel_cls: type[SynchronousKernel] = SynchronousKernel,
 ) -> AlgorithmResult:
     """Run the original GHS algorithm (with TEST probing) on ``points``.
 
@@ -82,6 +87,9 @@ def run_ghs(
         Multiplier for the default radius (paper experiments: 1.6).
     power:
         Path-loss model; defaults to ``a=1, alpha=2``.
+    kernel_cls:
+        Kernel implementation (benchmarks pass
+        :class:`~repro.sim.legacy.LegacyKernel` for the pre-PR baseline).
     """
     return _run_family(
         points,
@@ -92,6 +100,7 @@ def run_ghs(
         radius_const=radius_const,
         power=power,
         rx_cost=rx_cost,
+        kernel_cls=kernel_cls,
     )
 
 
@@ -102,6 +111,7 @@ def run_modified_ghs(
     radius_const: float = PAPER_GHS_RADIUS_CONST,
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
+    kernel_cls: type[SynchronousKernel] = SynchronousKernel,
 ) -> AlgorithmResult:
     """Run the modified GHS (neighbour caches + ANNOUNCE) on ``points``.
 
@@ -118,4 +128,5 @@ def run_modified_ghs(
         radius_const=radius_const,
         power=power,
         rx_cost=rx_cost,
+        kernel_cls=kernel_cls,
     )

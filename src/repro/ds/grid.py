@@ -16,8 +16,17 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+from scipy import ndimage
 
 from repro.errors import GeometryError
+
+#: Connectivity structures for :meth:`CellGrid.label_clusters`.
+#: 4-connectivity is scipy's default cross structure; 8-connectivity is
+#: the full 3x3 block.
+_STRUCTURE = {
+    4: ndimage.generate_binary_structure(2, 1),
+    8: np.ones((3, 3), dtype=bool),
+}
 
 
 class CellGrid:
@@ -41,6 +50,8 @@ class CellGrid:
         self._counts: np.ndarray | None = None
         self._cell_of: np.ndarray | None = None
         self._points: np.ndarray | None = None
+        self._bucket_order: np.ndarray | None = None
+        self._bucket_indptr: np.ndarray | None = None
         if points is not None:
             self.assign(points)
 
@@ -56,10 +67,16 @@ class CellGrid:
         idx = np.minimum((pts / self.side).astype(np.int64), self.m - 1)
         self._cell_of = idx
         self._points = pts
-        counts = np.zeros((self.m, self.m), dtype=np.int64)
-        if len(idx):
-            np.add.at(counts, (idx[:, 0], idx[:, 1]), 1)
-        self._counts = counts
+        # Flattened-cell bucket index: a stable argsort groups the point
+        # indices of each cell contiguously, and an indptr built from the
+        # per-cell counts makes points_in_cell an O(1) slice.
+        flat = idx[:, 0] * self.m + idx[:, 1]
+        self._bucket_order = np.argsort(flat, kind="stable")
+        flat_counts = np.bincount(flat, minlength=self.m * self.m)
+        self._bucket_indptr = np.concatenate(
+            [[0], np.cumsum(flat_counts)]
+        )
+        self._counts = flat_counts.reshape(self.m, self.m).astype(np.int64)
 
     # -- queries ------------------------------------------------------------
 
@@ -83,11 +100,18 @@ class CellGrid:
         return int(i), int(j)
 
     def points_in_cell(self, i: int, j: int) -> np.ndarray:
-        """Indices of assigned points inside cell ``(i, j)``."""
+        """Indices of assigned points inside cell ``(i, j)``.
+
+        O(size of the answer): a slice of the precomputed per-cell bucket
+        index (ascending point indices, as a stable grouping preserves).
+        """
         if self._cell_of is None:
             raise GeometryError("grid has no points assigned; call assign()")
-        mask = (self._cell_of[:, 0] == i) & (self._cell_of[:, 1] == j)
-        return np.nonzero(mask)[0]
+        if not (0 <= i < self.m and 0 <= j < self.m):
+            return np.zeros(0, dtype=np.intp)
+        flat = i * self.m + j
+        s, e = self._bucket_indptr[flat], self._bucket_indptr[flat + 1]
+        return self._bucket_order[s:e]
 
     def occupied_mask(self, threshold: int = 1) -> np.ndarray:
         """Boolean ``(m, m)`` mask of cells with ``count >= threshold``."""
@@ -114,8 +138,10 @@ class CellGrid:
         """Label connected clusters of ``True`` cells.
 
         Returns an ``(m, m)`` int array where ``0`` marks ``False`` cells and
-        clusters are numbered ``1..k``.  Uses an iterative flood fill, so it
-        is safe on large grids (no recursion).
+        clusters are numbered ``1..k`` in raster-scan order of their first
+        cell — the numbering the old pure-Python flood fill produced, which
+        ``scipy.ndimage.label`` matches (both scan row-major and assign the
+        next label at each unseen foreground cell).
 
         Parameters
         ----------
@@ -130,23 +156,8 @@ class CellGrid:
             )
         if connectivity not in (4, 8):
             raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
-        neigh = self.neighbors4 if connectivity == 4 else self.neighbors8
-        labels = np.zeros((self.m, self.m), dtype=np.int64)
-        next_label = 0
-        for si in range(self.m):
-            for sj in range(self.m):
-                if not mask[si, sj] or labels[si, sj]:
-                    continue
-                next_label += 1
-                stack = [(si, sj)]
-                labels[si, sj] = next_label
-                while stack:
-                    ci, cj = stack.pop()
-                    for ni, nj in neigh(ci, cj):
-                        if mask[ni, nj] and not labels[ni, nj]:
-                            labels[ni, nj] = next_label
-                            stack.append((ni, nj))
-        return labels
+        labels, _ = ndimage.label(mask, structure=_STRUCTURE[connectivity])
+        return labels.astype(np.int64)
 
     def cluster_sizes(self, labels: np.ndarray) -> np.ndarray:
         """Sizes (in cells) of clusters ``1..k`` given a label array."""

@@ -17,7 +17,9 @@ paper's numbers verbatim.
 """
 
 from repro.experiments.config import SweepConfig, PAPER_NS, SMOKE_NS, BENCH_NS
+from repro.experiments.instances import get_points, cache_info, clear_cache
 from repro.experiments.runner import run_algorithm, sweep_energy, EnergySweep
+from repro.experiments.parallel import sweep_energy_parallel
 from repro.experiments.figures import (
     fig1_percolation,
     fig2_potential,
@@ -35,7 +37,11 @@ __all__ = [
     "BENCH_NS",
     "run_algorithm",
     "sweep_energy",
+    "sweep_energy_parallel",
     "EnergySweep",
+    "get_points",
+    "cache_info",
+    "clear_cache",
     "fig1_percolation",
     "fig2_potential",
     "fig3a_energy",

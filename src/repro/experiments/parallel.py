@@ -9,10 +9,16 @@ serial one (every cell is a deterministic function of its coordinates).
 Workers re-derive the instance from the seed instead of shipping point
 arrays across the pipe — cheaper and keeps tasks self-describing (cf. the
 mpi4py guidance on communicating small descriptors over big buffers).
+Each worker derives it through the per-process
+:func:`~repro.experiments.instances.get_points` cache; tasks are ordered
+cell-major ((n, seed) outer, algorithm inner) and chunked so that one
+chunk carries every algorithm of a cell — the worker builds the instance
+once and the remaining algorithms of the cell hit the cache.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 
@@ -20,8 +26,8 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
+from repro.experiments.instances import get_points
 from repro.experiments.runner import EnergySweep, run_algorithm
-from repro.geometry.points import uniform_points
 
 
 def _run_cell(task: tuple) -> tuple:
@@ -31,9 +37,21 @@ def _run_cell(task: tuple) -> tuple:
     """
     alg, n, seed, cfg_tuple = task
     cfg = SweepConfig(*cfg_tuple)
-    pts = uniform_points(n, seed=seed)
+    pts = get_points(n, seed)
     res = run_algorithm(alg, pts, cfg)
     return (alg, n, seed), res.energy, res.messages, res.rounds
+
+
+def _chunksize(n_tasks: int, workers: int, per_chunk: int) -> int:
+    """Adaptive ``pool.map`` chunksize.
+
+    A multiple of ``per_chunk`` (the number of algorithms per cell, so a
+    chunk never splits a cell across workers), aiming at ~4 chunks per
+    worker to balance scheduling overhead against tail latency.
+    """
+    per_chunk = max(1, per_chunk)
+    target = math.ceil(n_tasks / (workers * 4))
+    return max(per_chunk, per_chunk * math.ceil(target / per_chunk))
 
 
 def sweep_energy_parallel(
@@ -68,11 +86,13 @@ def sweep_energy_parallel(
         cfg.eopt_c2,
         cfg.eopt_beta,
     )
+    # Cell-major ordering: all algorithms of one (n, seed) cell are
+    # adjacent, so a cell's chunk shares one cached instance build.
     tasks = [
         (alg, n, seed, cfg_tuple)
-        for alg in cfg.algorithms
         for n in cfg.ns
         for seed in cfg.seeds
+        for alg in cfg.algorithms
     ]
 
     shape = (len(cfg.ns), len(cfg.seeds))
@@ -82,8 +102,9 @@ def sweep_energy_parallel(
     n_index = {n: i for i, n in enumerate(cfg.ns)}
     s_index = {s: j for j, s in enumerate(cfg.seeds)}
 
+    chunksize = _chunksize(len(tasks), workers, len(cfg.algorithms))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for (alg, n, seed), e, m, r in pool.map(_run_cell, tasks, chunksize=1):
+        for (alg, n, seed), e, m, r in pool.map(_run_cell, tasks, chunksize=chunksize):
             i, j = n_index[n], s_index[seed]
             energy[alg][i, j] = e
             messages[alg][i, j] = m

@@ -19,7 +19,7 @@ from repro.algorithms.ghs import run_ghs, run_modified_ghs
 from repro.algorithms.randnnt import run_randnnt
 from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
-from repro.geometry.points import uniform_points
+from repro.experiments.instances import get_points
 
 
 def run_algorithm(
@@ -84,7 +84,7 @@ def sweep_energy(config: SweepConfig | None = None) -> EnergySweep:
     rounds = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
     for i, n in enumerate(cfg.ns):
         for j, seed in enumerate(cfg.seeds):
-            pts = uniform_points(n, seed=seed)
+            pts = get_points(n, seed)
             for alg in cfg.algorithms:
                 res = run_algorithm(alg, pts, cfg)
                 energy[alg][i, j] = res.energy

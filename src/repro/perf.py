@@ -1,0 +1,140 @@
+"""Opt-in performance instrumentation: phase timers and counters.
+
+The simulation kernel and the experiment runners are sprinkled with
+*cheap* hooks (one ``if perf.enabled`` branch per phase or per round,
+never per message) that record wall-clock timers and event counters into
+a process-global registry.  Disabled by default, the hooks cost a single
+attribute check; enabled, they feed ``benchmarks/bench_kernel_hotpath.py``
+and any ad-hoc profiling session:
+
+>>> from repro.perf import perf
+>>> perf.enable()
+>>> ...  # run a simulation
+>>> print(perf.report())
+
+The registry is deliberately process-local (no locks): parallel sweep
+workers each accumulate their own numbers, matching the per-worker
+instance caches in :mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+
+class _Timed:
+    """Context manager accumulating one timer entry (re-entrant-safe)."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "PerfRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry._record(self._name, time.perf_counter() - self._t0)
+
+
+class _NullTimed:
+    """No-op context manager returned while instrumentation is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_TIMED = _NullTimed()
+
+
+class PerfRegistry:
+    """Process-global accumulator of named timers and counters.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Call sites guard with ``if perf.enabled`` so the
+        disabled cost is one attribute read.
+    timers:
+        ``name -> [total_seconds, calls]``.
+    counters:
+        ``name -> count``.
+    """
+
+    __slots__ = ("enabled", "timers", "counters")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.timers: dict[str, list] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- switches -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded data (the enabled flag is untouched)."""
+        self.timers.clear()
+        self.counters.clear()
+
+    # -- recording ----------------------------------------------------------
+
+    def timed(self, name: str) -> _Timed | _NullTimed:
+        """``with perf.timed("phase"):`` — accumulate elapsed wall-clock."""
+        if not self.enabled:
+            return _NULL_TIMED
+        return _Timed(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        cell = self.timers.get(name)
+        if cell is None:
+            self.timers[name] = [elapsed, 1]
+        else:
+            cell[0] += elapsed
+            cell[1] += 1
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Bump counter ``name`` by ``value`` (call only when enabled)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Machine-readable copy: ``{"timers": {...}, "counters": {...}}``."""
+        return {
+            "timers": {
+                name: {"total_s": total, "calls": calls}
+                for name, (total, calls) in sorted(self.timers.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def report(self) -> str:
+        """Human-readable table of everything recorded so far."""
+        lines = []
+        if self.timers:
+            lines.append("timers:")
+            for name, (total, calls) in sorted(self.timers.items()):
+                lines.append(f"  {name:<32} {total * 1e3:10.2f} ms  x{calls}")
+        if self.counters:
+            lines.append("counters:")
+            for name, count in sorted(self.counters.items()):
+                lines.append(f"  {name:<32} {count}")
+        return "\n".join(lines) if lines else "(no perf data recorded)"
+
+
+#: The process-global registry every hook writes to.
+perf = PerfRegistry()

@@ -24,6 +24,7 @@ from repro.sim.message import Message
 from repro.sim.energy import EnergyLedger, SimStats
 from repro.sim.node import NodeProcess
 from repro.sim.kernel import SynchronousKernel, Context
+from repro.sim.legacy import LegacyKernel
 
 __all__ = [
     "PathLossModel",
@@ -32,5 +33,6 @@ __all__ = [
     "SimStats",
     "NodeProcess",
     "SynchronousKernel",
+    "LegacyKernel",
     "Context",
 ]

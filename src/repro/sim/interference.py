@@ -44,6 +44,9 @@ class ContentionKernel(SynchronousKernel):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # Conflict grouping needs the flat, send-ordered delivery list
+        # (greedy coloring is defined over transmission arrival order).
+        self._flat_pending = True
         self.slots = 0
         self.max_slot_factor = 1
 
@@ -98,7 +101,7 @@ class ContentionKernel(SynchronousKernel):
         # Deliver slot by slot (deterministic recipient order within a slot).
         nodes = self.nodes
         rx = self.rx_cost
-        ledger = self.ledger
+        ledger = self._ledger
         for slot in range(n_slots):
             batch: list[tuple[int, object, float]] = []
             for i in range(k):

@@ -18,19 +18,48 @@ Semantics (paper Sec. II):
 * No collisions/losses: every transmission succeeds (the paper defers
   physical-interference modelling to future work; see DESIGN.md).
 
-The kernel also hosts the energy ledger and a KD-tree over node positions
-for broadcast delivery.
+Hot-path layout (see docs/performance.md for the full story):
+
+* **Neighbor table** — a CSR array of (neighbor id, distance) per node,
+  sorted by distance, built lazily from one ``cKDTree.query_pairs`` call
+  and invalidated only when ``set_max_radius`` *raises* the power cap.
+  ``local_broadcast`` becomes a cached-slice lookup plus one
+  ``searchsorted`` cutoff; ``unicast`` reads a cached distance.  Kernels
+  whose power cap covers nearly the whole square (Co-NNT, flooding) would
+  need an O(n^2) table, so a density gate falls back to per-call KD-tree
+  queries there — the pre-table behaviour.
+* **Broadcast descriptors** — ``local_broadcast`` enqueues a single
+  ``(message, recipients-view, distances-view, seq)`` descriptor (O(1)
+  per send, no per-recipient Python loop); unicasts go to a small flat
+  list.  ``step`` expands the descriptors with numpy and orders all
+  deliveries by one ``lexsort`` over (recipient id, send sequence) — the
+  same stable order as sorting the send-ordered flat list by recipient.
+  Subclasses that need the flat, send-ordered delivery list (the
+  contention kernel, the legacy reference kernel) set
+  ``_flat_pending = True``.
+* **Batched charges** — the headline ``energy_total``/``messages_total``
+  stay exact running sums, but the per-kind / per-stage / per-node
+  breakdowns accumulate in plain dict/list accumulators flushed into the
+  :class:`~repro.sim.energy.EnergyLedger` when ``stats()`` (or the
+  ``ledger`` property) is read.
+
+Delivery order, energy totals, message counts and round counts are
+bit-identical to the pre-optimization kernel (kept verbatim as
+:class:`~repro.sim.legacy.LegacyKernel`); ``tests/test_hotpath_equivalence.py``
+pins that down.
 """
 
 from __future__ import annotations
 
 import math
+import operator
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.errors import GeometryError, PowerLimitError, SimulationError
+from repro.perf import perf
 from repro.sim.energy import EnergyLedger, SimStats
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
@@ -39,6 +68,65 @@ from repro.sim.power import PathLossModel
 #: Relative slack on the max-power check, to absorb float rounding when a
 #: protocol transmits at exactly its discovered neighbour distance.
 _POWER_EPS = 1e-9
+
+#: Density gate for the neighbor table: skip building it when the expected
+#: number of directed (src, dst) entries exceeds ``max(_TABLE_MIN_BUDGET,
+#: _TABLE_DEGREE_BUDGET * n)`` — a cap of sqrt(2) over thousands of nodes
+#: is an O(n^2) table nobody ever slices.
+_TABLE_DEGREE_BUDGET = 128
+_TABLE_MIN_BUDGET = 65536
+
+#: Sentinel cached when the density gate rejected a table at the current
+#: ``max_radius`` (distinct from "not built yet").
+_NO_TABLE = object()
+
+#: Sort key for unicast-only rounds (stable sort by recipient id).
+_BY_DST = operator.itemgetter(0)
+
+
+class _NeighborTable:
+    """CSR adjacency of every pair within ``max_radius``, sorted by distance.
+
+    ``ids``/``dists`` are the CSR payload arrays (``searchsorted`` radius
+    cutoffs need the float64 array; broadcast descriptors keep views into
+    both).  ``ids_list``/``dists_list`` mirror them as plain Python lists
+    so the per-source ``{neighbor: distance}`` dicts (``dist_of``, built
+    lazily on a node's first unicast) hold native ints and floats.
+    """
+
+    __slots__ = (
+        "max_radius",
+        "indptr",
+        "ids",
+        "dists",
+        "ids_list",
+        "dists_list",
+        "dist_of",
+    )
+
+    def __init__(
+        self,
+        max_radius: float,
+        indptr: list[int],
+        ids: np.ndarray,
+        dists: np.ndarray,
+    ) -> None:
+        self.max_radius = max_radius
+        self.indptr = indptr
+        self.ids = ids
+        self.dists = dists
+        self.ids_list = ids.tolist()
+        self.dists_list = dists.tolist()
+        self.dist_of: list[dict[int, float] | None] = [None] * (len(indptr) - 1)
+
+    def neighbors_of(self, src: int) -> dict[int, float]:
+        """The (lazily built) ``{neighbor: distance}`` map for ``src``."""
+        m = self.dist_of[src]
+        if m is None:
+            s, e = self.indptr[src], self.indptr[src + 1]
+            m = dict(zip(self.ids_list[s:e], self.dists_list[s:e]))
+            self.dist_of[src] = m
+        return m
 
 
 class Context:
@@ -112,12 +200,27 @@ class SynchronousKernel:
         #: Sec. VIII extension; 0 recovers the paper's TX-only model).
         self.rx_cost = float(rx_cost)
         self.nodes: list[NodeProcess] = []
-        self.ledger = EnergyLedger(self.n)
+        self._ledger = EnergyLedger(self.n)
         self.rounds = 0
         self.stage = "main"
         self._tree = cKDTree(pts) if self.n else None
-        #: deliveries scheduled for the next round: (dst, Message, distance)
+        #: Cached neighbor table: None = not built, _NO_TABLE = too dense.
+        self._nbr_table: _NeighborTable | None | object = None
+        #: Pending unicasts for the next round: (dst, msg, dist, seq).
+        self._uni: list[tuple[int, Message, float, int]] = []
+        #: Pending broadcast descriptors: (msg, ids view, dists view, seq).
+        self._bcasts: list[tuple[Message, np.ndarray, np.ndarray, int]] = []
+        #: Send-call sequence number (ties delivery order to send order).
+        self._seq = 0
+        self._n_pending = 0
+        #: Subclasses set True to receive the flat, send-ordered
+        #: ``(dst, Message, distance)`` list instead of bucket queues.
+        self._flat_pending = False
         self._pending: list[tuple[int, Message, float]] = []
+        #: Batched ledger accumulators: (kind, stage) -> [energy, count],
+        #: plus per-node energy partial sums; flushed by _flush_charges.
+        self._acc_kinds: dict[tuple[str, str], list] = {}
+        self._acc_node: list[float] = [0.0] * self.n
         self._started = False
 
     # -- setup ----------------------------------------------------------------
@@ -129,14 +232,110 @@ class SynchronousKernel:
         self.nodes = [factory(i, Context(self, i)) for i in range(self.n)]
 
     def set_max_radius(self, radius: float) -> None:
-        """Raise/lower the maximum power level (EOPT step transition)."""
+        """Raise/lower the maximum power level (EOPT step transition).
+
+        Raising the cap invalidates the cached neighbor table (it no
+        longer covers every reachable pair); lowering keeps it — a
+        superset table stays correct because every delivery filters by
+        the requested radius.
+        """
         if radius <= 0:
             raise GeometryError(f"max_radius must be positive, got {radius}")
         self.max_radius = float(radius)
+        tbl = self._nbr_table
+        if tbl is not None and (
+            tbl is _NO_TABLE or self.max_radius > tbl.max_radius
+        ):
+            self._nbr_table = None
 
     def set_stage(self, label: str) -> None:
         """Tag subsequent charges with ``label`` in the per-stage breakdown."""
         self.stage = label
+
+    # -- neighbor table --------------------------------------------------------
+
+    def _build_neighbor_table(self) -> "_NeighborTable | object":
+        """Build the CSR neighbor table at the current ``max_radius``.
+
+        Returns :data:`_NO_TABLE` when the expected table size blows the
+        density budget (near-global power caps), in which case broadcasts
+        keep using per-call KD-tree queries.
+        """
+        n = self.n
+        r = self.max_radius
+        est_entries = n * (n - 1) * min(1.0, math.pi * r * r)
+        if est_entries > max(_TABLE_MIN_BUDGET, _TABLE_DEGREE_BUDGET * n):
+            if perf.enabled:
+                perf.add("kernel.nbr_table_fallbacks")
+            return _NO_TABLE
+        with perf.timed("kernel.nbr_table_build"):
+            pairs = self._tree.query_pairs(r, output_type="ndarray")
+            if len(pairs):
+                src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+                dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+                diff = self.points[src] - self.points[dst]
+                dx, dy = diff[:, 0], diff[:, 1]
+                # Same float expression as the scalar unicast path, so the
+                # cached distances are bit-identical to recomputation.
+                dist = np.sqrt(dx * dx + dy * dy)
+                order = np.lexsort((dist, src))
+                src, dst, dist = src[order], dst[order], dist[order]
+            else:
+                src = np.zeros(0, dtype=np.int64)
+                dst = np.zeros(0, dtype=np.int64)
+                dist = np.zeros(0)
+            indptr = np.searchsorted(src, np.arange(n + 1)).tolist()
+            table = _NeighborTable(r, indptr, dst, dist)
+        if perf.enabled:
+            perf.add("kernel.nbr_table_builds")
+            perf.add("kernel.nbr_table_entries", len(table.ids_list))
+        return table
+
+    def _table(self) -> "_NeighborTable | None":
+        """The cached neighbor table, building it on first use (or None)."""
+        tbl = self._nbr_table
+        if tbl is None:
+            tbl = self._build_neighbor_table()
+            self._nbr_table = tbl
+        return None if tbl is _NO_TABLE else tbl
+
+    # -- energy accounting -----------------------------------------------------
+
+    @property
+    def ledger(self) -> EnergyLedger:
+        """The energy ledger, with any batched charges flushed."""
+        self._flush_charges()
+        return self._ledger
+
+    def _charge_tx(self, node: int, kind: str, energy: float) -> None:
+        """Record one transmission: exact totals now, breakdowns batched."""
+        led = self._ledger
+        led.energy_total += energy
+        led.messages_total += 1
+        self._acc_node[node] += energy
+        acc = self._acc_kinds
+        key = (kind, self.stage)
+        cell = acc.get(key)
+        if cell is None:
+            acc[key] = [energy, 1]
+        else:
+            cell[0] += energy
+            cell[1] += 1
+
+    def _flush_charges(self) -> None:
+        """Fold the batched accumulators into the ledger's breakdowns."""
+        acc = self._acc_kinds
+        if not acc:
+            return
+        led = self._ledger
+        for (kind, stage), (e, c) in acc.items():
+            led.energy_by_kind[kind] += e
+            led.messages_by_kind[kind] += c
+            led.energy_by_stage[stage] += e
+            led.messages_by_stage[stage] += c
+        acc.clear()
+        led.energy_by_node += self._acc_node
+        self._acc_node = [0.0] * self.n
 
     # -- sending (called through Context) --------------------------------------
 
@@ -152,30 +351,76 @@ class SynchronousKernel:
             raise SimulationError(f"unicast to unknown node {dst}")
         if dst == src:
             raise SimulationError(f"node {src} attempted to unicast to itself")
-        d = self.points[src] - self.points[dst]
-        dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
+        tbl = self._nbr_table
+        dist = None
+        if tbl is not None and tbl is not _NO_TABLE:
+            m = tbl.dist_of[src]
+            if m is None:
+                m = tbl.neighbors_of(src)
+            dist = m.get(dst)
+        if dist is None:
+            d = self.points[src] - self.points[dst]
+            dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
         self._check_power(src, dist)
-        self.ledger.charge(src, kind, self.stage, self.power.energy(dist))
-        self._pending.append((dst, Message(kind, src, dst, payload, dist), dist))
+        self._charge_tx(src, kind, self.power.energy(dist))
+        msg = Message(kind, src, dst, payload, dist)
+        if self._flat_pending:
+            self._pending.append((dst, msg, dist))
+        else:
+            self._uni.append((dst, msg, dist, self._seq))
+            self._seq += 1
+            self._n_pending += 1
 
     def _send_broadcast(self, src: int, radius: float, kind: str, payload: tuple) -> None:
         if radius < 0:
             raise GeometryError(f"broadcast radius must be non-negative, got {radius}")
         radius = float(radius)
         self._check_power(src, radius)
-        self.ledger.charge(src, kind, self.stage, self.power.energy(radius))
+        self._charge_tx(src, kind, self.power.energy(radius))
         if self._tree is None:
             return
         msg = Message(kind, src, None, payload, radius)
-        recipients = self._tree.query_ball_point(self.points[src], radius)
-        src_pt = self.points[src]
-        pending = self._pending
-        for r in recipients:
-            if r == src:
-                continue
-            d = src_pt - self.points[r]
-            dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
-            pending.append((r, msg, dist))
+        tbl = self._table()
+        if tbl is None or radius > tbl.max_radius:
+            # Dense fallback (or the eps-slack corner where the requested
+            # radius exceeds the table's build cutoff): per-call query.
+            # All recipients of one broadcast share one sequence number —
+            # legal, because a broadcast reaches each recipient at most
+            # once, so (dst, seq) pairs stay unique.
+            seq = self._seq
+            self._seq += 1
+            src_pt = self.points[src]
+            for r in self._tree.query_ball_point(src_pt, radius):
+                if r == src:
+                    continue
+                d = src_pt - self.points[r]
+                dist = math.sqrt(d[0] * d[0] + d[1] * d[1])
+                self._deliver_one(r, msg, dist, seq)
+            return
+        s, e = tbl.indptr[src], tbl.indptr[src + 1]
+        if radius < tbl.max_radius:
+            # Distances are sorted per source: binary-search the cutoff
+            # (side="right" keeps the closed ball, dist <= radius).
+            e = s + int(np.searchsorted(tbl.dists[s:e], radius, side="right"))
+        if self._flat_pending:
+            pend = self._pending
+            for dst, dk in zip(tbl.ids_list[s:e], tbl.dists_list[s:e]):
+                pend.append((dst, msg, dk))
+            return
+        if e > s:
+            # O(1) enqueue: views into the table arrays keep the table
+            # alive even if set_max_radius invalidates it before step().
+            self._bcasts.append((msg, tbl.ids[s:e], tbl.dists[s:e], self._seq))
+            self._n_pending += e - s
+        self._seq += 1
+
+    def _deliver_one(self, dst: int, msg: Message, dist: float, seq: int) -> None:
+        """Schedule one delivery for the next round (slow-path helper)."""
+        if self._flat_pending:
+            self._pending.append((dst, msg, dist))
+            return
+        self._uni.append((dst, msg, dist, seq))
+        self._n_pending += 1
 
     # -- running -----------------------------------------------------------------
 
@@ -196,18 +441,96 @@ class SynchronousKernel:
 
     def step(self) -> int:
         """Deliver one round of messages; returns the number delivered."""
-        if not self._pending:
+        if self._pending:
+            return self._step_flat()
+        uni = self._uni
+        bc = self._bcasts
+        if not uni and not bc:
             return 0
+        # Swap the pending structures out *before* delivering, so handler
+        # sends go to the next round.
+        self._uni = []
+        self._bcasts = []
+        delivered = self._n_pending
+        self._n_pending = 0
+        nodes = self.nodes
+        rx = self.rx_cost
+        led = self._ledger
+        if not bc:
+            # Unicast-only round: a stable sort by recipient id over the
+            # send-ordered list is exactly the legacy delivery order.
+            uni.sort(key=_BY_DST)
+            if rx:
+                for dst, msg, dist, _ in uni:
+                    led.charge_rx(dst, rx)
+                    nodes[dst].on_message(msg, dist)
+            else:
+                for dst, msg, dist, _ in uni:
+                    nodes[dst].on_message(msg, dist)
+        else:
+            # Expand broadcast descriptors and merge with unicasts in one
+            # vectorized pass.  lexsort by (recipient id, send seq) is the
+            # same total order as the legacy stable sort by recipient of
+            # the send-ordered flat list: (dst, seq) pairs are unique
+            # because one send reaches a given recipient at most once.
+            k = len(bc)
+            msgs = [b[0] for b in bc]
+            counts = np.fromiter((len(b[1]) for b in bc), dtype=np.intp, count=k)
+            dst_all = np.concatenate([b[1] for b in bc])
+            dist_all = np.concatenate([b[2] for b in bc])
+            seqs = np.fromiter((b[3] for b in bc), dtype=np.intp, count=k)
+            seq_all = np.repeat(seqs, counts)
+            midx = np.repeat(np.arange(k, dtype=np.intp), counts)
+            if uni:
+                u = len(uni)
+                msgs.extend(t[1] for t in uni)
+                dst_all = np.concatenate(
+                    [dst_all, np.fromiter((t[0] for t in uni), dtype=np.intp, count=u)]
+                )
+                dist_all = np.concatenate(
+                    [dist_all, np.fromiter((t[2] for t in uni), dtype=float, count=u)]
+                )
+                seq_all = np.concatenate(
+                    [seq_all, np.fromiter((t[3] for t in uni), dtype=np.intp, count=u)]
+                )
+                midx = np.concatenate([midx, np.arange(k, k + u, dtype=np.intp)])
+            order = np.lexsort((seq_all, dst_all))
+            dsts = dst_all[order].tolist()
+            dists = dist_all[order].tolist()
+            mids = midx[order].tolist()
+            last = -1
+            on_message = None
+            if rx:
+                for dst, mi, dist in zip(dsts, mids, dists):
+                    led.charge_rx(dst, rx)
+                    if dst != last:
+                        on_message = nodes[dst].on_message
+                        last = dst
+                    on_message(msgs[mi], dist)
+            else:
+                for dst, mi, dist in zip(dsts, mids, dists):
+                    if dst != last:
+                        on_message = nodes[dst].on_message
+                        last = dst
+                    on_message(msgs[mi], dist)
+        self.rounds += 1
+        if perf.enabled:
+            perf.add("kernel.rounds")
+            perf.add("kernel.deliveries", delivered)
+        return delivered
+
+    def _step_flat(self) -> int:
+        """Flat-list delivery for subclasses that set ``_flat_pending``."""
         deliveries = self._pending
         self._pending = []
         # Deterministic order: recipients ascending, then send order.
         deliveries.sort(key=lambda t: t[0])
         nodes = self.nodes
         rx = self.rx_cost
-        ledger = self.ledger
+        led = self._ledger
         for dst, msg, dist in deliveries:
             if rx:
-                ledger.charge_rx(dst, rx)
+                led.charge_rx(dst, rx)
             nodes[dst].on_message(msg, dist)
         self.rounds += 1
         return len(deliveries)
@@ -215,7 +538,7 @@ class SynchronousKernel:
     def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:
         """Run rounds until no messages are in flight; returns rounds run."""
         ran = 0
-        while self._pending:
+        while self._n_pending or self._pending:
             self.step()
             ran += 1
             if ran > max_rounds:
@@ -228,8 +551,9 @@ class SynchronousKernel:
     @property
     def in_flight(self) -> int:
         """Number of deliveries scheduled for the next round."""
-        return len(self._pending)
+        return self._n_pending + len(self._pending)
 
     def stats(self) -> SimStats:
         """Snapshot of the energy ledger and round count."""
-        return self.ledger.snapshot(self.rounds)
+        self._flush_charges()
+        return self._ledger.snapshot(self.rounds)

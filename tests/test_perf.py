@@ -1,0 +1,76 @@
+"""Unit tests for the opt-in perf instrumentation registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.points import uniform_points
+from repro.perf import PerfRegistry, _NULL_TIMED, perf
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.node import NodeProcess
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+def test_disabled_timed_is_shared_noop():
+    reg = PerfRegistry()
+    assert reg.timed("x") is _NULL_TIMED
+    with reg.timed("x"):
+        pass
+    assert reg.timers == {}
+    assert reg.snapshot() == {"timers": {}, "counters": {}}
+    assert reg.report() == "(no perf data recorded)"
+
+
+def test_timers_and_counters_accumulate():
+    reg = PerfRegistry()
+    reg.enable()
+    for _ in range(3):
+        with reg.timed("phase"):
+            pass
+    reg.add("events")
+    reg.add("events", 4)
+    snap = reg.snapshot()
+    assert snap["timers"]["phase"]["calls"] == 3
+    assert snap["timers"]["phase"]["total_s"] >= 0.0
+    assert snap["counters"] == {"events": 5}
+    assert "phase" in reg.report() and "events" in reg.report()
+    reg.reset()
+    assert reg.snapshot() == {"timers": {}, "counters": {}}
+    assert reg.enabled  # reset keeps the switch
+
+
+class _Beacon(NodeProcess):
+    def on_start(self):
+        self.ctx.local_broadcast(self.ctx.max_radius, "HELLO")
+
+
+def test_kernel_hooks_record_rounds_and_deliveries():
+    pts = uniform_points(80, seed=0)
+    perf.enable()
+    kernel = SynchronousKernel(pts, max_radius=0.3)
+    kernel.add_nodes(lambda i, ctx: _Beacon(i, ctx))
+    kernel.start()
+    kernel.run_until_quiescent()
+    snap = perf.snapshot()
+    assert snap["counters"]["kernel.rounds"] == 1
+    assert snap["counters"]["kernel.deliveries"] > 0
+    assert snap["counters"]["kernel.nbr_table_builds"] == 1
+    assert snap["counters"]["kernel.nbr_table_entries"] > 0
+    assert snap["timers"]["kernel.nbr_table_build"]["calls"] == 1
+
+
+def test_kernel_silent_when_disabled():
+    pts = uniform_points(50, seed=1)
+    kernel = SynchronousKernel(pts, max_radius=0.3)
+    kernel.add_nodes(lambda i, ctx: _Beacon(i, ctx))
+    kernel.start()
+    kernel.run_until_quiescent()
+    assert perf.snapshot() == {"timers": {}, "counters": {}}
