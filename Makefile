@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify perf-smoke bench
+.PHONY: verify perf-smoke bench bench-planes golden-regen
 
 # Tier 1: the full unit/property suite (must stay green).
 verify:
@@ -14,7 +14,19 @@ verify:
 # golden snapshot.  Writes benchmarks/out/BENCH_kernel.json.
 perf-smoke:
 	$(PY) benchmarks/bench_kernel_hotpath.py --quick
+	$(PY) benchmarks/bench_flood_planes.py --quick
 
 # Full kernel benchmark (n=2000, best-of-3).
 bench:
 	$(PY) benchmarks/bench_kernel_hotpath.py
+
+# Full flood-plane benchmark (n=2000, best-of-3, >=3x flood-stage gate).
+bench-planes:
+	$(PY) benchmarks/bench_flood_planes.py
+
+# Rebuild the golden stats snapshots deliberately (full configs).  The
+# goldens gate the benchmarks above; never hand-edit the JSON — rerun
+# this after an *intentional* semantics change and review the diff.
+golden-regen:
+	$(PY) benchmarks/bench_kernel_hotpath.py --write-golden
+	$(PY) benchmarks/bench_flood_planes.py --write-golden

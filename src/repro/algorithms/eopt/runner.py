@@ -65,6 +65,7 @@ def run_eopt(
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
+    planes: bool = True,
 ) -> AlgorithmResult:
     """Run EOPT on ``points``; returns the exact MST of the radius-``r2`` RGG.
 
@@ -83,6 +84,10 @@ def run_eopt(
     kernel_cls:
         Kernel implementation (benchmarks pass
         :class:`~repro.sim.legacy.LegacyKernel` for the pre-PR baseline).
+    planes:
+        Use the flood-plane fast path for HELLO/ANNOUNCE when the kernel
+        supports it (``False`` forces per-message delivery; results are
+        bit-identical either way).
     """
     pts = np.asarray(points, dtype=float)
     n = len(pts)
@@ -101,7 +106,7 @@ def run_eopt(
     # ---- Step 1: modified GHS at the giant-component radius -----------------
     kernel.set_stage("step1:hello")
     with perf.timed("eopt.step1.hello"):
-        hello_round(kernel, r1)
+        hello_round(kernel, r1, planes=planes)
     kernel.set_stage("step1:ghs")
     with perf.timed("eopt.step1.phases"):
         phases1 = run_ghs_phases(kernel, nodes)
@@ -133,7 +138,7 @@ def run_eopt(
     kernel.set_max_radius(r2)
     kernel.set_stage("step2:hello")
     with perf.timed("eopt.step2.hello"):
-        hello_round(kernel, r2)
+        hello_round(kernel, r2, planes=planes)
     kernel.set_stage("step2:ghs")
     small_leaders = [nd.id for nd in nodes if nd.leader and not nd.passive]
     kernel.wake(small_leaders, "activate")

@@ -93,7 +93,7 @@ def audit_ghs_state(nodes: Sequence[GHSNode]) -> dict:
 
     # -- neighbour caches never invent same-fragment claims ------------------
     for nd in nodes:
-        for v, cached_fid in nd.nb_fragment.items():
+        for v, cached_fid in nd.fragment_cache_items():
             if cached_fid == nd.fid and uf.find(v) != uf.find(nd.id):
                 raise ProtocolError(
                     f"node {nd.id} cache claims {v} shares fragment id "

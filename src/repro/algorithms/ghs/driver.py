@@ -21,8 +21,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ProtocolError
 from repro.algorithms.ghs.node import GHSNode
+from repro.algorithms.ghs.plane import FloodCache
 from repro.sim.kernel import SynchronousKernel
 
 
@@ -67,15 +70,67 @@ def run_ghs_phases(
         participants = [
             nd.id for nd in nodes if nd.cur_phase == phase and not nd.passive
         ]
-        kernel.wake(participants, "find_moe", (phase,))
+        cache = nodes[0].cache if nodes else None
+        if participants and cache is not None and not nodes[0].use_tests:
+            # Modified-mode MOE over the flood cache: one masked
+            # segment-min for all participants, applied in the same order
+            # ``wake`` would visit them so report traffic is identical.
+            pids = np.asarray(participants, dtype=np.intp)
+            fids = np.fromiter(
+                (nodes[i].fid for i in participants),
+                dtype=np.int64,
+                count=len(participants),
+            )
+            cand, kdist, klo, khi = cache.moe_batch(pids, fids)
+            cand_l = cand.tolist()
+            kd_l = kdist.tolist()
+            klo_l = klo.tolist()
+            khi_l = khi.tolist()
+            for idx, i in enumerate(participants):
+                nd = nodes[i]
+                if nd.cur_phase == phase and not nd.passive:
+                    nd.apply_moe(cand_l[idx], kd_l[idx], klo_l[idx], khi_l[idx])
+        else:
+            kernel.wake(participants, "find_moe", (phase,))
         kernel.run_until_quiescent()
 
 
-def hello_round(kernel: SynchronousKernel, radius: float) -> None:
+def hello_round(
+    kernel: SynchronousKernel, radius: float, *, planes: bool = True
+) -> None:
     """Make every node broadcast HELLO(fid) at ``radius`` and settle.
 
     This is the neighbour-discovery step: receivers learn (id, distance,
     fragment id) for everyone in range.  One local broadcast per node.
+
+    When ``planes`` is true and the kernel supports it (non-flat kernel,
+    neighbor table built), the whole round runs as one flood plane: a
+    fresh :class:`FloodCache` is attached to every node, one
+    ``broadcast_plane`` call registers all n HELLOs (charged in node-id
+    order, exactly like the per-node wake), and delivery is a single
+    vectorized cache update.  Otherwise — legacy/contention kernels,
+    density-gated tables, or ``planes=False`` — the classic per-node
+    wake path runs and nodes fall back to their dict caches.
     """
-    kernel.wake(range(kernel.n), "hello", (radius,))
+    nodes = kernel.nodes
+    cache = None
+    if planes and nodes and all(isinstance(nd, GHSNode) for nd in nodes):
+        cache = FloodCache.ensure(kernel)
+    if cache is not None:
+        kernel.set_plane_handler(cache.on_plane)
+        for nd in nodes:
+            nd.attach_cache(cache)
+        r = float(radius)
+        for nd in nodes:
+            nd.radio_radius = r
+        fids = np.fromiter((nd.fid for nd in nodes), dtype=np.int64, count=kernel.n)
+        senders = np.arange(kernel.n, dtype=np.intp)
+        if not kernel.broadcast_plane(senders, r, "HELLO", fids):
+            cache = None  # table vanished between ensure() and send
+    if cache is None:
+        kernel.set_plane_handler(None)
+        for nd in nodes:
+            if isinstance(nd, GHSNode):
+                nd.attach_cache(None)
+        kernel.wake(range(kernel.n), "hello", (radius,))
     kernel.run_until_quiescent()

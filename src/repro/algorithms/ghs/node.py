@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ProtocolError
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
@@ -55,6 +57,14 @@ class GHSNode(NodeProcess):
         # durable knowledge
         "neighbors",      # id -> distance (learned from HELLO/ANNOUNCE deliveries)
         "nb_fragment",    # id -> fragment id (modified mode caches)
+        # flood-cache views (plane fast path; None = dict mode)
+        "cache",          # shared FloodCache, or None
+        "nb_ids",         # this node's CSR row: neighbor ids (by distance)
+        "nb_dist",        # ... their distances
+        "nb_fid",         # ... last-heard fragment ids (-1 = never)
+        "nb_known",       # ... heard-from bits (dict membership)
+        "nb_lo",          # ... min(self.id, nb) per slot
+        "nb_hi",          # ... max(self.id, nb) per slot
         "fid",
         "leader",
         "halted",
@@ -93,6 +103,9 @@ class GHSNode(NodeProcess):
         self.radio_radius = 0.0
         self.neighbors: dict[int, float] = {}
         self.nb_fragment: dict[int, int] = {}
+        self.cache = None
+        self.nb_ids = self.nb_dist = self.nb_fid = None
+        self.nb_known = self.nb_lo = self.nb_hi = None
         self.fid = node_id
         self.leader = True
         self.halted = False
@@ -139,9 +152,55 @@ class GHSNode(NodeProcess):
         # (two fragments could then join over two different edges — a cycle).
         self._phase_tree: frozenset[int] = frozenset(self.tree_edges)
 
+    def attach_cache(self, cache) -> None:
+        """Bind (or clear, with ``None``) the shared flood cache's views.
+
+        In cache mode the ``neighbors``/``nb_fragment`` dicts go unused:
+        neighbour knowledge lives in the table-aligned numpy views and is
+        refreshed by the next HELLO flood.  Rebinding at every hello
+        round is equivalent to keeping the dicts because the power cap
+        never *lowers* and a full hello refreshes every in-range entry.
+        """
+        self.cache = cache
+        if cache is None:
+            self.nb_ids = self.nb_dist = self.nb_fid = None
+            self.nb_known = self.nb_lo = self.nb_hi = None
+        else:
+            cache.attach(self)
+
+    def _cache_slot(self, nb: int) -> int:
+        slots = np.flatnonzero(self.nb_ids == nb)
+        if len(slots) == 0:
+            raise ProtocolError(
+                f"node {self.id}: flood cache has no slot for neighbor {nb} "
+                "(stale cache after a power-cap change?)"
+            )
+        return int(slots[0])
+
+    def _cache_learn(self, src: int, fid: int) -> None:
+        """Per-message HELLO/ANNOUNCE in cache mode (plane fallback path)."""
+        j = self._cache_slot(src)
+        self.nb_fid[j] = fid
+        self.nb_known[j] = True
+
+    def _dist_to(self, nb: int) -> float:
+        """Distance to a heard-from neighbour, whichever cache is live."""
+        if self.cache is None:
+            return self.neighbors[nb]
+        return float(self.nb_dist[self._cache_slot(nb)])
+
+    def fragment_cache_items(self):
+        """(neighbor id, cached fragment id) pairs, mode-agnostic (audit)."""
+        if self.cache is None:
+            return self.nb_fragment.items()
+        k = self.nb_known
+        return zip(self.nb_ids[k].tolist(), self.nb_fid[k].tolist())
+
     def _maybe_announce(self, changed: bool) -> None:
         if changed and self.announce:
-            self.ctx.local_broadcast(self.radio_radius, "ANNOUNCE", self.fid)
+            r = self.radio_radius
+            if self.cache is None or not self.ctx.plane_broadcast(r, "ANNOUNCE", self.fid):
+                self.ctx.local_broadcast(r, "ANNOUNCE", self.fid)
 
     # ------------------------------------------------------------- wake hooks
 
@@ -149,7 +208,9 @@ class GHSNode(NodeProcess):
         if signal == "hello":
             (radius,) = payload
             self.radio_radius = float(radius)
-            self.ctx.local_broadcast(self.radio_radius, "HELLO", self.fid)
+            r = self.radio_radius
+            if self.cache is None or not self.ctx.plane_broadcast(r, "HELLO", self.fid):
+                self.ctx.local_broadcast(r, "HELLO", self.fid)
         elif signal == "initiate":
             (phase,) = payload
             self._wake_initiate(int(phase))
@@ -202,11 +263,17 @@ class GHSNode(NodeProcess):
         kind = msg.kind
         src = msg.src
         if kind == "HELLO":
-            self.neighbors[src] = distance
-            self.nb_fragment[src] = msg.payload[0]
+            if self.cache is not None:
+                self._cache_learn(src, msg.payload[0])
+            else:
+                self.neighbors[src] = distance
+                self.nb_fragment[src] = msg.payload[0]
         elif kind == "ANNOUNCE":
-            self.neighbors.setdefault(src, distance)
-            self.nb_fragment[src] = msg.payload[0]
+            if self.cache is not None:
+                self._cache_learn(src, msg.payload[0])
+            else:
+                self.neighbors.setdefault(src, distance)
+                self.nb_fragment[src] = msg.payload[0]
         elif kind == "INITIATE":
             fid, phase = msg.payload
             self._on_initiate(src, fid, phase)
@@ -219,7 +286,7 @@ class GHSNode(NodeProcess):
                 self.ctx.unicast(src, "REJECT")
         elif kind == "ACCEPT":
             self._cand_nb = src
-            self._cand_key = self._edge_key(src, self.neighbors[src])
+            self._cand_key = self._edge_key(src, self._dist_to(src))
             self._search_done = True
             self._try_report()
         elif kind == "REJECT":
@@ -267,15 +334,34 @@ class GHSNode(NodeProcess):
 
     def _start_search(self) -> None:
         if self.use_tests:
-            cands = [
-                nb
-                for nb in self.neighbors
-                if nb not in self._phase_tree and nb not in self.rejected
-            ]
-            cands.sort(key=lambda nb: self._edge_key(nb, self.neighbors[nb]))
+            if self.cache is not None:
+                k = self.nb_known
+                pairs = zip(self.nb_ids[k].tolist(), self.nb_dist[k].tolist())
+                # Edge keys are unique, so sorting (key, nb) pairs gives
+                # the same queue order as the dict path's stable sort.
+                keyed = [
+                    (self._edge_key(nb, d), nb)
+                    for nb, d in pairs
+                    if nb not in self._phase_tree and nb not in self.rejected
+                ]
+                keyed.sort()
+                cands = [nb for _, nb in keyed]
+            else:
+                cands = [
+                    nb
+                    for nb in self.neighbors
+                    if nb not in self._phase_tree and nb not in self.rejected
+                ]
+                cands.sort(key=lambda nb: self._edge_key(nb, self.neighbors[nb]))
             self._test_queue = cands
             self._test_idx = 0
             self._continue_tests()
+        elif self.cache is not None:
+            # Masked argmin over the CSR row (driver-batched runs go
+            # through FloodCache.moe_batch + apply_moe instead).
+            self._cand_nb, self._cand_key = self._search_cache()
+            self._search_done = True
+            self._try_report()
         else:
             best_nb, best_key = None, NO_EDGE
             fid = self.fid
@@ -294,6 +380,37 @@ class GHSNode(NodeProcess):
             self._cand_key = best_key
             self._search_done = True
             self._try_report()
+
+    def _search_cache(self) -> tuple[int | None, tuple[float, int, int]]:
+        """Modified-mode MOE from the flood-cache views (one node)."""
+        mask = self.nb_known & (self.nb_fid != self.fid)
+        if not mask.any():
+            return None, NO_EDGE
+        d = np.where(mask, self.nb_dist, math.inf)
+        j = int(np.argmin(d))
+        ties = np.flatnonzero(d == d[j])
+        if len(ties) > 1:
+            # Measure-zero distance tie: the (lo, hi) key decides.
+            j = int(ties[np.lexsort((self.nb_hi[ties], self.nb_lo[ties]))[0]])
+        return int(self.nb_ids[j]), (
+            float(d[j]),
+            int(self.nb_lo[j]),
+            int(self.nb_hi[j]),
+        )
+
+    def apply_moe(self, nb: int, dist: float, lo: int, hi: int) -> None:
+        """Accept a driver-computed MOE (batched modified-mode search).
+
+        ``nb < 0`` means no outgoing edge.  Equivalent to what
+        ``find_moe`` + ``_search_cache`` would conclude locally, applied
+        in the driver's wake order so report traffic is identical.
+        """
+        if nb < 0:
+            self._cand_nb, self._cand_key = None, NO_EDGE
+        else:
+            self._cand_nb, self._cand_key = int(nb), (dist, int(lo), int(hi))
+        self._search_done = True
+        self._try_report()
 
     def _continue_tests(self) -> None:
         while self._test_idx < len(self._test_queue):

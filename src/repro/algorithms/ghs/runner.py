@@ -29,6 +29,7 @@ def _run_family(
     power: PathLossModel | None,
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
+    planes: bool = True,
 ) -> AlgorithmResult:
     pts = np.asarray(points, dtype=float)
     n = len(pts)
@@ -40,7 +41,7 @@ def _run_family(
     kernel.start()
     kernel.set_stage("hello")
     with perf.timed(f"{name.lower()}.hello"):
-        hello_round(kernel, r)
+        hello_round(kernel, r, planes=planes)
     kernel.set_stage("phases")
     with perf.timed(f"{name.lower()}.phases"):
         phases = run_ghs_phases(kernel, kernel.nodes)
@@ -69,6 +70,7 @@ def run_ghs(
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
+    planes: bool = True,
 ) -> AlgorithmResult:
     """Run the original GHS algorithm (with TEST probing) on ``points``.
 
@@ -90,6 +92,10 @@ def run_ghs(
     kernel_cls:
         Kernel implementation (benchmarks pass
         :class:`~repro.sim.legacy.LegacyKernel` for the pre-PR baseline).
+    planes:
+        Use the flood-plane fast path for HELLO/ANNOUNCE when the kernel
+        supports it (``False`` forces per-message delivery; results are
+        bit-identical either way).
     """
     return _run_family(
         points,
@@ -101,6 +107,7 @@ def run_ghs(
         power=power,
         rx_cost=rx_cost,
         kernel_cls=kernel_cls,
+        planes=planes,
     )
 
 
@@ -112,6 +119,7 @@ def run_modified_ghs(
     power: PathLossModel | None = None,
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
+    planes: bool = True,
 ) -> AlgorithmResult:
     """Run the modified GHS (neighbour caches + ANNOUNCE) on ``points``.
 
@@ -129,4 +137,5 @@ def run_modified_ghs(
         power=power,
         rx_cost=rx_cost,
         kernel_cls=kernel_cls,
+        planes=planes,
     )

@@ -177,18 +177,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    perf_help = "enable repro.perf timers/counters and print the table after"
+
     run = sub.add_parser("run", help="run one algorithm on one instance")
     run.add_argument(
         "algorithm", choices=["GHS", "MGHS", "EOPT", "Co-NNT", "Rand-NNT"]
     )
     run.add_argument("-n", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--perf", action="store_true", help=perf_help)
     run.set_defaults(func=_cmd_run)
 
     f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")
     f3a.add_argument("--max-n", type=int, default=2000)
     f3a.add_argument("--seeds", type=int, default=1)
     f3a.add_argument("--save", help="write the sweep JSON here")
+    f3a.add_argument("--perf", action="store_true", help=perf_help)
     f3a.set_defaults(func=_cmd_fig3a)
 
     f3b = sub.add_parser("fig3b", help="log-log-log slope fits (Fig. 3b)")
@@ -196,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     f3b.add_argument("--seeds", type=int, default=1)
     f3b.add_argument("--min-n", type=int, default=100)
     f3b.add_argument("--load", help="reuse a sweep JSON from fig3a --save")
+    f3b.add_argument("--perf", action="store_true", help=perf_help)
     f3b.set_defaults(func=_cmd_fig3b)
 
     f1 = sub.add_parser("fig1", help="percolation picture (Fig. 1)")
@@ -237,6 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "perf", False):
+        from repro.perf import perf
+
+        perf.reset()
+        perf.enable()
+        try:
+            rc = args.func(args)
+        finally:
+            perf.disable()
+        print("\nperf report:")
+        print(perf.report())
+        return rc
     return args.func(args)
 
 

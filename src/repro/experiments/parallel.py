@@ -14,6 +14,13 @@ Each worker derives it through the per-process
 cell-major ((n, seed) outer, algorithm inner) and chunked so that one
 chunk carries every algorithm of a cell — the worker builds the instance
 once and the remaining algorithms of the cell hit the cache.
+
+One :class:`~concurrent.futures.ProcessPoolExecutor` stays alive at
+module level across sweeps: spawning workers pays interpreter start-up
+and a cold instance cache on every call otherwise, which dwarfs small
+sweeps.  :func:`shutdown` tears it down explicitly (tests, clean exits);
+a sweep that dies with a broken pool also tears it down so the next call
+gets fresh workers.
 """
 
 from __future__ import annotations
@@ -28,6 +35,30 @@ from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.experiments.instances import get_points
 from repro.experiments.runner import EnergySweep, run_algorithm
+
+
+#: The module-level pool reused across sweeps (lazily created).
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, (re)created when the worker count changes."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        shutdown()
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the shared pool (idempotent; next sweep respawns it)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+        _pool_workers = 0
 
 
 def _run_cell(task: tuple) -> tuple:
@@ -103,11 +134,17 @@ def sweep_energy_parallel(
     s_index = {s: j for j, s in enumerate(cfg.seeds)}
 
     chunksize = _chunksize(len(tasks), workers, len(cfg.algorithms))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = _executor(workers)
+    try:
         for (alg, n, seed), e, m, r in pool.map(_run_cell, tasks, chunksize=chunksize):
             i, j = n_index[n], s_index[seed]
             energy[alg][i, j] = e
             messages[alg][i, j] = m
             rounds[alg][i, j] = r
+    except BaseException:
+        # A worker crash (BrokenProcessPool) or interrupt may leave the
+        # shared pool unusable; drop it so the next sweep starts clean.
+        shutdown()
+        raise
 
     return EnergySweep(config=cfg, energy=energy, messages=messages, rounds=rounds)

@@ -42,11 +42,26 @@ Hot-path layout (see docs/performance.md for the full story):
   breakdowns accumulate in plain dict/list accumulators flushed into the
   :class:`~repro.sim.energy.EnergyLedger` when ``stats()`` (or the
   ``ledger`` property) is read.
+* **Flood planes** — some protocol stages are pure cache refreshes with
+  no control flow: every sender broadcasts one integer (the GHS family's
+  HELLO and ANNOUNCE floods), every receiver only overwrites a cache
+  entry.  :meth:`SynchronousKernel.broadcast_plane` (and the per-sender
+  :meth:`Context.plane_broadcast`) charge the senders exactly like
+  ``local_broadcast`` but skip :class:`~repro.sim.message.Message`
+  construction and per-recipient dispatch entirely: ``step`` expands the
+  plane's (sender, recipient) edges straight from the CSR table and
+  hands the whole batch to one registered ``plane handler``
+  (:meth:`set_plane_handler`) that applies the updates with numpy.
+  Planes are *order-free by construction* — receivers only overwrite
+  per-sender cache slots — so the one documented relaxation versus the
+  legacy kernel is that deliveries **within** a plane round are not
+  interleaved per-message with that round's unicasts.  Energy totals,
+  message counts, round counts and recipient sets stay bit-identical.
 
-Delivery order, energy totals, message counts and round counts are
-bit-identical to the pre-optimization kernel (kept verbatim as
-:class:`~repro.sim.legacy.LegacyKernel`); ``tests/test_hotpath_equivalence.py``
-pins that down.
+Delivery order (outside plane rounds), energy totals, message counts and
+round counts are bit-identical to the pre-optimization kernel (kept
+verbatim as :class:`~repro.sim.legacy.LegacyKernel`);
+``tests/test_hotpath_equivalence.py`` pins that down.
 """
 
 from __future__ import annotations
@@ -84,6 +99,22 @@ _NO_TABLE = object()
 _BY_DST = operator.itemgetter(0)
 
 
+def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate the half-open index ranges ``[starts[i], ends[i])``.
+
+    Vectorized multi-``arange``: the result lists every index of every
+    range, in range order.  Zero-length ranges are skipped naturally.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    out = np.repeat(starts.astype(np.intp, copy=False), counts)
+    shift = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    out += np.arange(total, dtype=np.intp) - np.repeat(shift, counts)
+    return out
+
+
 class _NeighborTable:
     """CSR adjacency of every pair within ``max_radius``, sorted by distance.
 
@@ -97,11 +128,13 @@ class _NeighborTable:
     __slots__ = (
         "max_radius",
         "indptr",
+        "indptr_arr",
         "ids",
         "dists",
         "ids_list",
         "dists_list",
         "dist_of",
+        "_rev",
     )
 
     def __init__(
@@ -113,11 +146,39 @@ class _NeighborTable:
     ) -> None:
         self.max_radius = max_radius
         self.indptr = indptr
+        self.indptr_arr = np.asarray(indptr, dtype=np.intp)
         self.ids = ids
         self.dists = dists
         self.ids_list = ids.tolist()
         self.dists_list = dists.tolist()
         self.dist_of: list[dict[int, float] | None] = [None] * (len(indptr) - 1)
+        self._rev: np.ndarray | None = None
+
+    @property
+    def rev(self) -> np.ndarray:
+        """Index of the reverse entry ``(dst, src)`` for every entry ``(src, dst)``.
+
+        The table holds both directions of every pair, so this is a
+        permutation (an involution); flood-plane delivery uses it to map
+        a sender's CSR row onto the recipients' cache slots.  Built
+        lazily — only plane-using runs pay for it.
+        """
+        r = self._rev
+        if r is None:
+            n = len(self.indptr) - 1
+            src = np.repeat(
+                np.arange(n, dtype=np.intp), np.diff(self.indptr_arr)
+            )
+            dst = self.ids
+            # k-th edge in (src, dst) order is the reverse of the k-th
+            # edge in (dst, src) order: the symmetric edge set enumerates
+            # the same ordered pairs either way.
+            fwd = np.lexsort((dst, src))
+            bwd = np.lexsort((src, dst))
+            r = np.empty(len(dst), dtype=np.intp)
+            r[fwd] = bwd
+            self._rev = r
+        return r
 
     def neighbors_of(self, src: int) -> dict[int, float]:
         """The (lazily built) ``{neighbor: distance}`` map for ``src``."""
@@ -171,6 +232,19 @@ class Context:
         """Transmit to every node within ``radius`` (one message, one charge)."""
         self._kernel._send_broadcast(self._id, radius, kind, payload)
 
+    def plane_broadcast(self, radius: float, kind: str, payload: int) -> bool:
+        """Fast-path local broadcast of one integer via the flood plane.
+
+        Semantically identical to ``local_broadcast(radius, kind, payload)``
+        — same charge, same recipient set, delivered next round — but the
+        payload reaches receivers through the kernel's registered plane
+        handler instead of per-recipient ``on_message`` calls.  Returns
+        ``False`` (sending nothing, charging nothing) when the kernel has
+        no plane fast path; the caller must then fall back to
+        ``local_broadcast``.
+        """
+        return self._kernel._send_plane(self._id, radius, kind, payload)
+
 
 class SynchronousKernel:
     """Synchronous, collision-free message-passing simulator."""
@@ -215,8 +289,20 @@ class SynchronousKernel:
         self._n_pending = 0
         #: Subclasses set True to receive the flat, send-ordered
         #: ``(dst, Message, distance)`` list instead of bucket queues.
+        #: Flat kernels (legacy reference, contention) never take the
+        #: plane fast path: their semantics are per-message.
         self._flat_pending = False
         self._pending: list[tuple[int, Message, float]] = []
+        #: Flood-plane state: the vectorized delivery callback (None =
+        #: planes unavailable), buffered single-sender registrations per
+        #: kind, batch descriptors from broadcast_plane, the table all of
+        #: this round's plane slices index into, and the pending
+        #: recipient count.
+        self._plane_handler: Callable | None = None
+        self._plane_singles: dict[str, list[tuple[int, int, int, int]]] = {}
+        self._plane_batches: list[tuple] = []
+        self._plane_tbl: _NeighborTable | None = None
+        self._n_plane_pending = 0
         #: Batched ledger accumulators: (kind, stage) -> [energy, count],
         #: plus per-node energy partial sums; flushed by _flush_charges.
         self._acc_kinds: dict[tuple[str, str], list] = {}
@@ -298,6 +384,182 @@ class SynchronousKernel:
             tbl = self._build_neighbor_table()
             self._nbr_table = tbl
         return None if tbl is _NO_TABLE else tbl
+
+    def neighbor_table(self) -> "_NeighborTable | None":
+        """The CSR neighbor table at the current cap (``None`` = too dense).
+
+        Public accessor for plane clients (e.g. the GHS flood cache)
+        whose index-aligned arrays must share the table's CSR layout.
+        """
+        if self._tree is None:
+            return None
+        return self._table()
+
+    # -- flood planes ----------------------------------------------------------
+
+    def set_plane_handler(self, handler: Callable | None) -> None:
+        """Register the vectorized plane delivery callback (or clear it).
+
+        ``handler(kind, table, senders, payloads, counts, edge_idx)`` is
+        called once per (kind, round) batch at delivery time: ``senders``
+        and ``payloads`` are parallel arrays, ``counts[i]`` recipients
+        belong to ``senders[i]``, and ``edge_idx`` indexes the delivered
+        (sender, recipient) edges into ``table.ids`` / ``table.dists``
+        (recipient-side cache slots are ``table.rev[edge_idx]``).
+        """
+        self._plane_handler = handler
+
+    def _plane_table(self) -> "_NeighborTable | None":
+        """The table plane sends may slice, or ``None`` if planes are off.
+
+        Planes need a per-message-free delivery path (no flat subclass),
+        a registered handler, and the CSR table at the current cap.
+        """
+        if self._flat_pending or self._plane_handler is None or self._tree is None:
+            return None
+        return self._table()
+
+    def _plane_bind(self, tbl: "_NeighborTable") -> None:
+        """Pin this round's plane slices to one table generation."""
+        if self._plane_tbl is None:
+            self._plane_tbl = tbl
+        elif self._plane_tbl is not tbl:
+            raise SimulationError(
+                "flood plane spans a neighbor-table rebuild; deliver pending "
+                "planes (run a round) before changing the power cap"
+            )
+
+    def broadcast_plane(
+        self,
+        senders: Sequence[int] | np.ndarray,
+        radius: float,
+        kind: str,
+        payloads: Sequence[int] | np.ndarray,
+    ) -> bool:
+        """Batch ``local_broadcast`` for many senders at one radius.
+
+        Charges every sender exactly as ``local_broadcast(radius, kind,
+        payloads[i])`` would (same energy expression, same summation
+        order as per-sender sends), computes each sender's recipient
+        slice from the CSR table, and schedules one plane descriptor for
+        next round's vectorized delivery.  Returns ``False`` — sending
+        and charging nothing — when the plane fast path is unavailable
+        (flat-delivery kernel, no handler registered, or the density
+        gate rejected the table); callers fall back to per-sender
+        ``local_broadcast``.
+        """
+        radius = float(radius)
+        if radius < 0:
+            raise GeometryError(
+                f"broadcast radius must be non-negative, got {radius}"
+            )
+        tbl = self._plane_table()
+        if tbl is None or radius > tbl.max_radius:
+            return False
+        senders = np.asarray(senders, dtype=np.intp)
+        payloads = np.asarray(payloads, dtype=np.int64)
+        if len(senders) != len(payloads):
+            raise SimulationError(
+                f"broadcast_plane got {len(senders)} senders but "
+                f"{len(payloads)} payloads"
+            )
+        if len(senders) == 0:
+            return True
+        self._check_power(int(senders[0]), radius)
+        self._plane_bind(tbl)
+        cost = self.power.energy(radius)
+        charge = self._charge_tx
+        for s in senders.tolist():
+            charge(s, kind, cost)
+        starts = tbl.indptr_arr[senders]
+        ends = tbl.indptr_arr[senders + 1]
+        if radius < tbl.max_radius:
+            # Same per-sender cutoff as _send_broadcast: distances are
+            # sorted within a row, side="right" keeps the closed ball.
+            dists = tbl.dists
+            ends = np.fromiter(
+                (
+                    s0 + int(np.searchsorted(dists[s0:e0], radius, side="right"))
+                    for s0, e0 in zip(starts.tolist(), ends.tolist())
+                ),
+                dtype=np.intp,
+                count=len(senders),
+            )
+        n_rcpt = int((ends - starts).sum())
+        if n_rcpt:
+            self._plane_batches.append((kind, tbl, senders, payloads, starts, ends))
+            self._n_plane_pending += n_rcpt
+        if perf.enabled:
+            perf.add("kernel.plane_sends", len(senders))
+        return True
+
+    def _send_plane(self, src: int, radius: float, kind: str, payload: int) -> bool:
+        """Single-sender plane registration (buffered per kind per round)."""
+        radius = float(radius)
+        if radius < 0:
+            raise GeometryError(
+                f"broadcast radius must be non-negative, got {radius}"
+            )
+        # Hot path: reuse the table already bound this round (many nodes
+        # announce in one round; only the first pays the lookup chain).
+        tbl = self._plane_tbl
+        if tbl is None:
+            tbl = self._plane_table()
+            if tbl is None or radius > tbl.max_radius:
+                return False
+            self._plane_bind(tbl)
+        elif radius > tbl.max_radius:
+            return False
+        self._check_power(src, radius)
+        self._charge_tx(src, kind, self.power.energy(radius))
+        s, e = tbl.indptr[src], tbl.indptr[src + 1]
+        if radius < tbl.max_radius:
+            e = s + int(np.searchsorted(tbl.dists[s:e], radius, side="right"))
+        if e > s:
+            self._plane_singles.setdefault(kind, []).append((src, payload, s, e))
+            self._n_plane_pending += e - s
+        if perf.enabled:
+            perf.add("kernel.plane_sends")
+        return True
+
+    def _deliver_planes(self) -> int:
+        """Expand and deliver all pending planes (one handler call each)."""
+        batches = self._plane_batches
+        singles = self._plane_singles
+        tbl = self._plane_tbl
+        delivered = self._n_plane_pending
+        self._plane_batches = []
+        self._plane_singles = {}
+        self._plane_tbl = None
+        self._n_plane_pending = 0
+        for kind, entries in singles.items():
+            k = len(entries)
+            batches.append(
+                (
+                    kind,
+                    tbl,
+                    np.fromiter((t[0] for t in entries), dtype=np.intp, count=k),
+                    np.fromiter((t[1] for t in entries), dtype=np.int64, count=k),
+                    np.fromiter((t[2] for t in entries), dtype=np.intp, count=k),
+                    np.fromiter((t[3] for t in entries), dtype=np.intp, count=k),
+                )
+            )
+        handler = self._plane_handler
+        rx = self.rx_cost
+        led = self._ledger
+        for kind, btbl, senders, payloads, starts, ends in batches:
+            counts = ends - starts
+            edge_idx = concat_ranges(starts, ends)
+            handler(kind, btbl, senders, payloads, counts, edge_idx)
+            if rx:
+                # Scalar loop keeps rx totals bit-identical to the
+                # per-message path (same left-to-right summation).
+                for dst in btbl.ids[edge_idx].tolist():
+                    led.charge_rx(dst, rx)
+        if perf.enabled:
+            perf.add("kernel.plane_batches", len(batches))
+            perf.add("kernel.plane_deliveries", delivered)
+        return delivered
 
     # -- energy accounting -----------------------------------------------------
 
@@ -445,7 +707,7 @@ class SynchronousKernel:
             return self._step_flat()
         uni = self._uni
         bc = self._bcasts
-        if not uni and not bc:
+        if not uni and not bc and not self._n_plane_pending:
             return 0
         # Swap the pending structures out *before* delivering, so handler
         # sends go to the next round.
@@ -453,6 +715,18 @@ class SynchronousKernel:
         self._bcasts = []
         delivered = self._n_pending
         self._n_pending = 0
+        if self._n_plane_pending:
+            # Planes land before per-message dispatch: within a round the
+            # relative order is unobservable to well-formed plane handlers
+            # (they only overwrite cache slots), and front-loading them
+            # keeps the message loop below branch-free.
+            delivered += self._deliver_planes()
+        if not uni and not bc:
+            self.rounds += 1
+            if perf.enabled:
+                perf.add("kernel.rounds")
+                perf.add("kernel.deliveries", delivered)
+            return delivered
         nodes = self.nodes
         rx = self.rx_cost
         led = self._ledger
@@ -538,7 +812,7 @@ class SynchronousKernel:
     def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:
         """Run rounds until no messages are in flight; returns rounds run."""
         ran = 0
-        while self._n_pending or self._pending:
+        while self._n_pending or self._pending or self._n_plane_pending:
             self.step()
             ran += 1
             if ran > max_rounds:
@@ -551,7 +825,7 @@ class SynchronousKernel:
     @property
     def in_flight(self) -> int:
         """Number of deliveries scheduled for the next round."""
-        return self._n_pending + len(self._pending)
+        return self._n_pending + len(self._pending) + self._n_plane_pending
 
     def stats(self) -> SimStats:
         """Snapshot of the energy ledger and round count."""

@@ -15,6 +15,12 @@ Nodes must only use what they could know in the paper's model:
 * local state they accumulated.
 
 Nothing in the API lets a node read another node's state or the topology.
+
+Flood-shaped traffic (every sender broadcasts one integer, every
+recipient records it) can bypass ``on_message`` entirely: a driver may
+register a plane handler on the kernel and issue
+``ctx.plane_broadcast``, which delivers whole waves in bulk with
+identical energy/message/round accounting (see ``repro.sim.kernel``).
 """
 
 from __future__ import annotations

@@ -29,6 +29,21 @@ class TestCommands:
         assert "Co-NNT" in out
         assert "CONNECTION" in out
 
+    def test_run_perf_flag_prints_report(self, capsys):
+        assert main(["run", "MGHS", "-n", "120", "--perf"]) == 0
+        out = capsys.readouterr().out
+        assert "perf report:" in out
+        assert "timers:" in out
+        assert "mghs.hello" in out
+        # The flag must not leave the global registry switched on.
+        from repro.perf import perf
+
+        assert not perf.enabled
+
+    def test_run_without_perf_flag_prints_no_report(self, capsys):
+        assert main(["run", "MGHS", "-n", "120"]) == 0
+        assert "perf report:" not in capsys.readouterr().out
+
     def test_fig3a(self, capsys):
         assert main(["fig3a", "--max-n", "100"]) == 0
         out = capsys.readouterr().out

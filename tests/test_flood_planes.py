@@ -1,0 +1,245 @@
+"""Flood-plane machinery: CSR helpers, cache delivery, MOE batch, gates.
+
+Complements ``test_hotpath_equivalence.py`` (which pins end-to-end
+bit-identity of the plane path against the legacy kernel) with unit
+coverage of the moving parts: ``concat_ranges``, the reverse-edge
+permutation, plane registration/delivery semantics (zero-recipient
+sends, round accounting, flat-kernel refusal), the density gate at its
+exact threshold, and the batched MOE search against a brute-force
+oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ghs.node import NO_EDGE, GHSNode
+from repro.algorithms.ghs.plane import FloodCache
+from repro.geometry.points import uniform_points
+from repro.sim import LegacyKernel, NodeProcess, SynchronousKernel
+from repro.sim.kernel import _NO_TABLE, concat_ranges
+
+
+class _Recorder(NodeProcess):
+    """Logs every delivery; never replies."""
+
+    def __init__(self, node_id, ctx):
+        super().__init__(node_id, ctx)
+        self.heard = []
+
+    def on_message(self, msg, distance):
+        self.heard.append((msg.kind, msg.src, distance))
+
+    def on_wake(self, signal, payload=()):
+        if signal == "bcast":
+            self.ctx.local_broadcast(payload[0], "PING", self.id)
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def test_concat_ranges_matches_manual_aranges():
+    starts = np.array([0, 5, 5, 9, 20], dtype=np.intp)
+    ends = np.array([3, 5, 8, 9, 23], dtype=np.intp)  # two empty ranges
+    expected = np.concatenate(
+        [np.arange(s, e) for s, e in zip(starts, ends)]
+    ).astype(np.intp)
+    np.testing.assert_array_equal(concat_ranges(starts, ends), expected)
+
+
+def test_concat_ranges_all_empty():
+    starts = np.array([4, 7], dtype=np.intp)
+    ends = np.array([4, 7], dtype=np.intp)
+    out = concat_ranges(starts, ends)
+    assert out.shape == (0,)
+    assert out.dtype == np.intp
+
+
+def test_reverse_permutation_is_involution_and_pairs_edges():
+    pts = uniform_points(120, seed=2)
+    kernel = SynchronousKernel(pts, max_radius=0.25)
+    tbl = kernel.neighbor_table()
+    assert tbl is not None
+    rev = tbl.rev
+    m = len(tbl.ids)
+    src = np.repeat(np.arange(kernel.n), np.diff(tbl.indptr_arr))
+    # Involution: reversing twice is the identity.
+    np.testing.assert_array_equal(rev[rev], np.arange(m))
+    # Pairing: entry j is (src[j] -> ids[j]); its reverse must be the
+    # opposite ordered pair at the same distance.
+    np.testing.assert_array_equal(src[rev], tbl.ids)
+    np.testing.assert_array_equal(tbl.ids[rev], src)
+    np.testing.assert_array_equal(tbl.dists[rev], tbl.dists)
+
+
+# ------------------------------------------------------- plane registration
+
+
+def _ghs_kernel(pts, r):
+    kernel = SynchronousKernel(pts, max_radius=r)
+    kernel.add_nodes(
+        lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True)
+    )
+    kernel.start()
+    return kernel
+
+
+def test_zero_recipient_plane_charges_but_adds_no_round():
+    # One far-away corner node: its broadcast at a tiny radius reaches
+    # nobody.  Legacy semantics: the send is charged, no delivery round
+    # happens.
+    pts = np.array([[0.0, 0.0], [0.01, 0.0], [0.9, 0.9]])
+    kernel = _ghs_kernel(pts, 0.05)
+    cache = FloodCache.ensure(kernel)
+    assert cache is not None
+    kernel.set_plane_handler(cache.on_plane)
+    for nd in kernel.nodes:
+        nd.attach_cache(cache)
+    ok = kernel.broadcast_plane(
+        np.array([2], dtype=np.intp), 0.05, "HELLO", np.array([2], dtype=np.int64)
+    )
+    assert ok
+    assert kernel.in_flight == 0
+    before = kernel.rounds
+    kernel.run_until_quiescent()
+    assert kernel.rounds == before
+    stats = kernel.stats()
+    assert stats.messages_by_kind == {"HELLO": 1}
+    assert stats.energy_total == pytest.approx(0.05**2)
+
+
+def test_plane_refused_without_handler_or_on_flat_kernels():
+    pts = uniform_points(40, seed=0)
+    kernel = _ghs_kernel(pts, 0.3)
+    senders = np.arange(kernel.n, dtype=np.intp)
+    fids = np.arange(kernel.n, dtype=np.int64)
+    # No handler registered: refuse (and charge nothing).
+    assert not kernel.broadcast_plane(senders, 0.3, "HELLO", fids)
+    assert kernel.stats().messages_total == 0
+    # Flat-delivery kernels never take the plane path even with a handler.
+    legacy = LegacyKernel(pts, max_radius=0.3)
+    legacy.add_nodes(
+        lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True)
+    )
+    legacy.start()
+    assert FloodCache.ensure(legacy) is None
+    legacy.set_plane_handler(lambda *a: None)
+    assert not legacy.broadcast_plane(senders, 0.3, "HELLO", fids)
+
+
+def test_plane_hello_fills_cache_like_messages():
+    pts = uniform_points(80, seed=5)
+    r = 0.2
+    # Plane path.
+    k1 = _ghs_kernel(pts, r)
+    cache = FloodCache.ensure(k1)
+    k1.set_plane_handler(cache.on_plane)
+    for nd in k1.nodes:
+        nd.attach_cache(cache)
+        nd.radio_radius = r
+    fids = np.fromiter((nd.fid for nd in k1.nodes), dtype=np.int64, count=k1.n)
+    assert k1.broadcast_plane(np.arange(k1.n, dtype=np.intp), r, "HELLO", fids)
+    k1.run_until_quiescent()
+    # Per-message path.
+    k2 = _ghs_kernel(pts, r)
+    k2.wake(range(k2.n), "hello", (r,))
+    k2.run_until_quiescent()
+    for a, b in zip(k1.nodes, k2.nodes):
+        assert dict(a.fragment_cache_items()) == dict(b.fragment_cache_items())
+    s1, s2 = k1.stats(), k2.stats()
+    assert s1.energy_total == s2.energy_total
+    assert s1.messages_by_kind == s2.messages_by_kind
+    assert s1.rounds == s2.rounds
+
+
+# ------------------------------------------------------- density gate edge
+
+
+def test_density_gate_threshold_paths_identical():
+    # n=300: budget = max(65536, 128*300) = 65536 expected entries, so the
+    # gate flips at r_eq = sqrt(65536 / (300*299*pi)).  A cap just under
+    # builds the CSR table; just over falls back to per-call KD queries.
+    n, budget = 300, 65536
+    pts = uniform_points(n, seed=8)
+    r_eq = math.sqrt(budget / (n * (n - 1) * math.pi))
+    caps = {"table": r_eq * 0.999, "fallback": r_eq * 1.001}
+    rb = 0.9 * caps["table"]  # same broadcast radius under both caps
+
+    def drive(cap):
+        kernel = SynchronousKernel(pts, max_radius=cap)
+        kernel.add_nodes(lambda i, ctx: _Recorder(i, ctx))
+        kernel.start()
+        kernel.wake([0, 17, 101, 299], "bcast", (rb,))
+        kernel.run_until_quiescent()
+        return kernel, [nd.heard for nd in kernel.nodes], kernel.stats()
+
+    k_tbl, logs_tbl, stats_tbl = drive(caps["table"])
+    k_fb, logs_fb, stats_fb = drive(caps["fallback"])
+    # The two runs really took different paths...
+    assert k_tbl._nbr_table is not None and k_tbl._nbr_table is not _NO_TABLE
+    assert k_fb._nbr_table is _NO_TABLE
+    # ...and still agree on recipients, distances, energy, rounds.
+    assert logs_tbl == logs_fb
+    assert stats_tbl.energy_total == stats_fb.energy_total
+    assert stats_tbl.messages_total == stats_fb.messages_total
+    assert stats_tbl.rounds == stats_fb.rounds
+
+
+# --------------------------------------------------------------- MOE batch
+
+
+def _brute_moe(node, fid):
+    """Oracle: scan the node's cache views exactly like the dict path."""
+    best_nb, best_key = -1, NO_EDGE
+    for j in range(len(node.nb_ids)):
+        if not node.nb_known[j] or node.nb_fid[j] == fid:
+            continue
+        key = (float(node.nb_dist[j]), int(node.nb_lo[j]), int(node.nb_hi[j]))
+        if key < best_key:
+            best_key, best_nb = key, int(node.nb_ids[j])
+    return best_nb, best_key
+
+
+def test_moe_batch_matches_bruteforce():
+    pts = uniform_points(150, seed=13)
+    kernel = _ghs_kernel(pts, 0.25)
+    cache = FloodCache.ensure(kernel)
+    for nd in kernel.nodes:
+        nd.attach_cache(cache)
+    # Random-ish cache state: nodes spread over 7 fragments, a sprinkle
+    # of unheard entries.
+    rng = np.random.default_rng(99)
+    cache.fid[:] = rng.integers(0, 7, size=len(cache.fid))
+    cache.known[:] = rng.random(len(cache.known)) < 0.85
+    node_ids = np.arange(kernel.n, dtype=np.intp)
+    fids = rng.integers(0, 7, size=kernel.n).astype(np.int64)
+    cand, kd, klo, khi = cache.moe_batch(node_ids, fids)
+    for i in range(kernel.n):
+        nb, key = _brute_moe(kernel.nodes[i], int(fids[i]))
+        assert int(cand[i]) == nb
+        if nb >= 0:
+            assert (float(kd[i]), int(klo[i]), int(khi[i])) == key
+        else:
+            assert math.isinf(kd[i])
+
+
+def test_moe_tie_broken_by_edge_ids():
+    # Unit square: node 0 sees 1 and 2 at exactly distance 1.  The edge
+    # key (1.0, 0, 1) < (1.0, 0, 2) must pick neighbour 1 in both the
+    # batch and the per-node search.
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    kernel = _ghs_kernel(pts, 1.45)
+    cache = FloodCache.ensure(kernel)
+    for nd in kernel.nodes:
+        nd.attach_cache(cache)
+    cache.known[:] = True
+    cache.fid[:] = 9  # everyone reports a foreign fragment
+    cand, kd, klo, khi = cache.moe_batch(
+        np.array([0], dtype=np.intp), np.array([0], dtype=np.int64)
+    )
+    assert (int(cand[0]), float(kd[0]), int(klo[0]), int(khi[0])) == (1, 1.0, 0, 1)
+    nb, key = kernel.nodes[0]._search_cache()
+    assert (nb, key) == (1, (1.0, 0, 1))

@@ -11,6 +11,13 @@ pin that contract at two levels:
   the (kind, src, distance) sequences and full ledger snapshots must
   match exactly, including sub-max-radius broadcasts, radius changes in
   both directions, rx charges and the dense-fallback path.
+
+The flood-plane fast path (``planes=True``, the default) rides the same
+contract: every algorithm run is checked with planes on *and* off
+against the legacy kernel, the two fast-kernel paths must agree on the
+complete ledger (including the batched breakdowns, which are summed in
+the same order), and the plane path must demonstrably engage — a test
+that silently fell back to per-message delivery would pin nothing.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import pytest
 from repro.algorithms.eopt import run_eopt
 from repro.algorithms.ghs import run_ghs, run_modified_ghs
 from repro.geometry.points import uniform_points
+from repro.perf import perf
 from repro.sim import LegacyKernel, NodeProcess, SynchronousKernel
 
 
@@ -57,15 +65,32 @@ def _assert_same_result(old, new):
 def test_algorithms_bit_identical(runner, n, seed):
     pts = uniform_points(n, seed=seed)
     old = runner(pts, kernel_cls=LegacyKernel)
-    new = runner(pts)
+    perf.reset()
+    perf.enable()
+    try:
+        new = runner(pts)  # planes on (the default)
+    finally:
+        plane_sends = perf.counters.get("kernel.plane_sends", 0)
+        perf.disable()
+        perf.reset()
+    off = runner(pts, planes=False)
+    # The plane path must actually have run, or this test pins nothing.
+    assert plane_sends > 0
     _assert_same_result(old, new)
+    _assert_same_result(old, off)
+    # Planes on/off share the fast kernel's charge order, so even the
+    # batched breakdowns are bit-identical between them (not just close).
+    assert new.stats.energy_by_kind == off.stats.energy_by_kind
+    assert new.stats.energy_by_stage == off.stats.energy_by_stage
 
 
 def test_rx_cost_bit_identical():
     pts = uniform_points(250, seed=4)
     old = run_modified_ghs(pts, rx_cost=0.01, kernel_cls=LegacyKernel)
     new = run_modified_ghs(pts, rx_cost=0.01)
+    off = run_modified_ghs(pts, rx_cost=0.01, planes=False)
     _assert_same_result(old, new)
+    _assert_same_result(old, off)
 
 
 class _Recorder(NodeProcess):

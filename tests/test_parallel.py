@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
+from repro.experiments import parallel as parallel_mod
 from repro.experiments.config import SweepConfig
-from repro.experiments.parallel import sweep_energy_parallel
+from repro.experiments.parallel import shutdown, sweep_energy_parallel
 from repro.experiments.runner import sweep_energy
 
 CFG = SweepConfig(ns=(50, 100), seeds=(0, 1), algorithms=("EOPT", "Co-NNT"))
@@ -39,3 +40,34 @@ class TestParallelSweep:
             SweepConfig(ns=(50,), seeds=(0,), algorithms=("Co-NNT",))
         )
         assert sweep.config.ns == (50,)
+
+
+class TestPoolReuse:
+    CFG_SMALL = SweepConfig(ns=(50,), seeds=(0,), algorithms=("Co-NNT",))
+
+    def test_pool_survives_across_sweeps(self):
+        shutdown()  # known-clean start
+        sweep_energy_parallel(self.CFG_SMALL, workers=2)
+        pool = parallel_mod._pool
+        assert pool is not None
+        sweep_energy_parallel(self.CFG_SMALL, workers=2)
+        assert parallel_mod._pool is pool  # same executor object reused
+
+    def test_worker_count_change_respawns_pool(self):
+        sweep_energy_parallel(self.CFG_SMALL, workers=2)
+        pool = parallel_mod._pool
+        sweep_energy_parallel(self.CFG_SMALL, workers=1)
+        assert parallel_mod._pool is not pool
+        assert parallel_mod._pool_workers == 1
+
+    def test_shutdown_clears_and_is_idempotent(self):
+        sweep_energy_parallel(self.CFG_SMALL, workers=1)
+        assert parallel_mod._pool is not None
+        shutdown()
+        assert parallel_mod._pool is None
+        assert parallel_mod._pool_workers == 0
+        shutdown()  # second call is a no-op
+        # And the next sweep transparently respawns a pool.
+        sweep = sweep_energy_parallel(self.CFG_SMALL, workers=1)
+        assert sweep.energy["Co-NNT"][0, 0] > 0
+        shutdown()
