@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify perf-smoke bench bench-planes golden-regen
+.PHONY: verify perf-smoke bench bench-planes chaos golden-regen
 
 # Tier 1: the full unit/property suite (must stay green).
 verify:
@@ -23,6 +23,13 @@ bench:
 # Full flood-plane benchmark (n=2000, best-of-3, >=3x flood-stage gate).
 bench-planes:
 	$(PY) benchmarks/bench_flood_planes.py
+
+# Fault-plane chaos gate: the chaos test suite plus the resilience
+# benchmark smoke (p=0 bit-identical, exact MST at every drop rate).
+# Writes benchmarks/out/BENCH_faults.json.
+chaos:
+	$(PY) -m pytest tests/test_chaos.py tests/test_faults.py -x -q
+	$(PY) benchmarks/bench_faults.py --quick
 
 # Rebuild the golden stats snapshots deliberately (full configs).  The
 # goldens gate the benchmarks above; never hand-edit the JSON — rerun

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Fault-resilience benchmark: recovery cost vs drop rate.
+
+Runs modified GHS and EOPT on a fixed instance across drop rates
+``p in {0, 0.05, 0.1, 0.2}`` and reports the *price of recovery*: energy,
+messages and rounds relative to the fault-free run, plus the fault-plane
+breakdown (drops / duplicates).  Checks, each fatal (exit code 2):
+
+* at ``p = 0`` the run must be **bit-identical** to the faults-off run —
+  the fault plane must cost nothing when it injects nothing;
+* at every ``p`` the recovered tree must equal the fault-free MST
+  exactly — recovery is not allowed to trade correctness for progress;
+* drops must actually occur for ``p > 0`` (the plan engaged).
+
+Results land in ``benchmarks/out/BENCH_faults.json``.
+
+Usage::
+
+    python benchmarks/bench_faults.py --quick   # n=500 smoke (make chaos)
+    python benchmarks/bench_faults.py           # full (n=2000)
+
+Not a pytest file on purpose: ``make chaos`` calls it directly so the
+exit code gates CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.algorithms.eopt import run_eopt  # noqa: E402
+from repro.algorithms.ghs import run_modified_ghs  # noqa: E402
+from repro.experiments.instances import get_points  # noqa: E402
+from repro.mst.quality import same_tree  # noqa: E402
+from repro.sim.faults import FaultPlan  # noqa: E402
+
+OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_faults.json"
+
+RUNNERS = {"MGHS": run_modified_ghs, "EOPT": run_eopt}
+DROP_RATES = (0.0, 0.05, 0.1, 0.2)
+FAULT_SEED = 0
+INSTANCE_SEED = 7
+
+
+def _fail(msg: str) -> None:
+    print(f"FATAL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def _record(res, wall: float) -> dict:
+    st = res.stats
+    return {
+        "energy": st.energy_total,
+        "messages": int(st.messages_total),
+        "rounds": int(st.rounds),
+        "n_tree_edges": int(len(res.tree_edges)),
+        "dropped": int(st.dropped_total),
+        "dup_delivered": int(st.dup_delivered_total),
+        "wall_s": round(wall, 3),
+    }
+
+
+def bench(n: int) -> dict:
+    pts = get_points(n, INSTANCE_SEED)
+    out: dict = {"n": n, "instance_seed": INSTANCE_SEED, "algorithms": {}}
+    for alg, runner in RUNNERS.items():
+        t0 = time.perf_counter()
+        base = runner(pts)
+        base_wall = time.perf_counter() - t0
+        rows = {"baseline": _record(base, base_wall)}
+        for p in DROP_RATES:
+            plan = FaultPlan(seed=FAULT_SEED, drop_rate=p)
+            t0 = time.perf_counter()
+            res = runner(pts, faults=plan)
+            wall = time.perf_counter() - t0
+            rec = _record(res, wall)
+            rec["drop_rate"] = p
+            rec["energy_overhead"] = rec["energy"] / rows["baseline"]["energy"]
+            rows[f"p={p}"] = rec
+
+            if not same_tree(res.tree_edges, base.tree_edges):
+                _fail(f"{alg} n={n} p={p}: recovered tree != fault-free MST")
+            if p == 0.0:
+                for key in ("energy", "messages", "rounds"):
+                    if rec[key] != rows["baseline"][key]:
+                        _fail(
+                            f"{alg} n={n}: null fault plan perturbed {key} "
+                            f"({rec[key]} != {rows['baseline'][key]})"
+                        )
+            elif rec["dropped"] == 0:
+                _fail(f"{alg} n={n} p={p}: fault plane never engaged")
+        out["algorithms"][alg] = rows
+        print(f"{alg} n={n}:")
+        for label, rec in rows.items():
+            over = rec.get("energy_overhead")
+            over_s = f"  energy x{over:.2f}" if over is not None else ""
+            print(
+                f"  {label:<9} energy={rec['energy']:.2f} "
+                f"msgs={rec['messages']} rounds={rec['rounds']} "
+                f"dropped={rec['dropped']}{over_s}"
+            )
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="n=500 smoke")
+    args = ap.parse_args()
+    n = 500 if args.quick else 2000
+    result = bench(n)
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nresults written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,8 +24,14 @@ import math
 
 from repro.errors import ProtocolError
 from repro.geometry.potential import potential_distance
+from repro.sim.faults import RetryBuffer
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
+
+#: Kinds that bypass the reliable layer.  REQUEST is a discovery flood
+#: (losing a copy costs a candidate, never safety — the runner re-probes
+#: stranded nodes); ACKs are the reliable layer's own control traffic.
+_UNRELIABLE_KINDS = frozenset(("REQUEST", "ACK"))
 
 
 def diagonal_key(x: float, y: float, node_id: int) -> tuple[float, float, int]:
@@ -34,7 +40,15 @@ def diagonal_key(x: float, y: float, node_id: int) -> tuple[float, float, int]:
 
 
 class CoNNTNode(NodeProcess):
-    """One processor running the Co-NNT doubling-radius protocol."""
+    """One processor running the Co-NNT doubling-radius protocol.
+
+    With ``reliable=True`` (set by the runner when a fault plan is
+    active) the two unicast kinds that carry safety — REPLY (a missed
+    one can strand a requester) and CONNECTION (a missed one leaves an
+    asymmetric tree edge) — travel through a :class:`RetryBuffer`
+    ACK/retry layer, so under message loss the recorded tree stays
+    symmetric and every heard candidate is eventually counted.
+    """
 
     __slots__ = (
         "x",
@@ -47,9 +61,17 @@ class CoNNTNode(NodeProcess):
         "last_radius",
         "_replies",
         "_phase",
+        "reliable",
+        "retry",
     )
 
+    def __init__(self, node_id: int, ctx, *, reliable: bool = False) -> None:
+        super().__init__(node_id, ctx)
+        self.reliable = reliable
+        self.retry: RetryBuffer | None = None
+
     def on_start(self) -> None:
+        self.retry = RetryBuffer(self.ctx) if self.reliable else None
         self.x, self.y = self.ctx.coords
         self.key = diagonal_key(self.x, self.y, self.id)
         # L_u is locally computable from own coordinates (closed form).
@@ -68,11 +90,18 @@ class CoNNTNode(NodeProcess):
             if self.done:
                 return
             (i,) = payload
+            if int(i) != self._phase:
+                # Reset candidates only on a genuinely new phase: a
+                # retransmitted REPLY that lands between a duplicate
+                # probe wake and the decide still counts.
+                self._replies = []
             self._phase = int(i)
             radius = min(math.sqrt(2.0**i / max(self.ctx.n_nodes, 1)), math.sqrt(2.0))
             self.last_radius = radius
-            self._replies = []
             self.ctx.local_broadcast(radius, "REQUEST", self.x, self.y)
+        elif signal == "retry_tick":
+            if self.retry is not None:
+                self.retry.tick()
         elif signal == "decide":
             if self.done:
                 return
@@ -86,24 +115,51 @@ class CoNNTNode(NodeProcess):
             _, target = min(self._replies)
             self.connected_to = target
             self.tree_edges.add(target)
-            self.ctx.unicast(target, "CONNECTION")
+            self._send(target, "CONNECTION")
             self.done = True
         elif self.last_radius >= self.L:
             # Probed the whole potential region and heard nothing: this is
             # the highest-ranked node (paper: "it terminates anyway").
             self.done = True
 
+    def _send(self, dst: int, kind: str, *payload) -> None:
+        """Unicast, through the retry layer when it applies (see class doc)."""
+        if self.retry is not None and kind not in _UNRELIABLE_KINDS:
+            self.retry.send(dst, kind, payload)
+        else:
+            self.ctx.unicast(dst, kind, *payload)
+
     # -- messages ---------------------------------------------------------------
 
     def on_message(self, msg: Message, distance: float) -> None:
         kind = msg.kind
+        payload = msg.payload
+        if self.retry is not None and kind not in _UNRELIABLE_KINDS:
+            seq = payload[0]
+            # ACK every copy: a duplicate means our previous ACK was lost.
+            self.ctx.unicast(msg.src, "ACK", seq)
+            if not self.retry.accept(msg.src, seq):
+                return
+            payload = payload[1:]
+        elif kind == "ACK":
+            if self.retry is None:
+                raise ProtocolError(
+                    f"node {self.id}: ACK received but reliable mode is off"
+                )
+            self.retry.on_ack(payload[0])
+            return
+        self._dispatch(kind, msg.src, payload, distance)
+
+    def _dispatch(
+        self, kind: str, src: int, payload: tuple, distance: float
+    ) -> None:
         if kind == "REQUEST":
-            rx, ry = msg.payload
-            if self.key > diagonal_key(rx, ry, msg.src):
-                self.ctx.unicast(msg.src, "REPLY")
+            rx, ry = payload
+            if self.key > diagonal_key(rx, ry, src):
+                self._send(src, "REPLY")
         elif kind == "REPLY":
-            self._replies.append((distance, msg.src))
+            self._replies.append((distance, src))
         elif kind == "CONNECTION":
-            self.tree_edges.add(msg.src)
+            self.tree_edges.add(src)
         else:
             raise ProtocolError(f"node {self.id}: unknown message kind {kind!r}")

@@ -35,7 +35,12 @@ import math
 import numpy as np
 
 from repro.algorithms.base import AlgorithmResult, collect_tree_edges
-from repro.algorithms.ghs.driver import active_leaders, hello_round, run_ghs_phases
+from repro.algorithms.ghs.driver import (
+    GHSRecovery,
+    active_leaders,
+    hello_round,
+    run_ghs_phases,
+)
 from repro.algorithms.ghs.node import GHSNode
 from repro.errors import ProtocolError
 from repro.geometry.radius import (
@@ -45,6 +50,7 @@ from repro.geometry.radius import (
     giant_radius,
 )
 from repro.perf import perf
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -66,6 +72,9 @@ def run_eopt(
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
     planes: bool = True,
+    faults: FaultPlan | None = None,
+    recover: bool = True,
+    audit: bool = False,
 ) -> AlgorithmResult:
     """Run EOPT on ``points``; returns the exact MST of the radius-``r2`` RGG.
 
@@ -88,6 +97,10 @@ def run_eopt(
         Use the flood-plane fast path for HELLO/ANNOUNCE when the kernel
         supports it (``False`` forces per-message delivery; results are
         bit-identical either way).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan`; see
+        :func:`repro.algorithms.ghs.runner.run_ghs` for the matching
+        ``recover``/``audit`` knobs.
     """
     pts = np.asarray(points, dtype=float)
     n = len(pts)
@@ -98,25 +111,68 @@ def run_eopt(
         # step 2 still raises power rather than lowering it.
         r1 = r2
 
-    kernel = kernel_cls(pts, max_radius=r1, power=power, rx_cost=rx_cost)
-    kernel.add_nodes(lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True))
+    kwargs = {}
+    if faults is not None:
+        kwargs["faults"] = faults
+    kernel = kernel_cls(pts, max_radius=r1, power=power, rx_cost=rx_cost, **kwargs)
+    reliable = faults is not None and not faults.is_null and recover
+    kernel.add_nodes(
+        lambda i, ctx: GHSNode(
+            i, ctx, use_tests=False, announce=True, reliable=reliable
+        )
+    )
     kernel.start()
     nodes = kernel.nodes
+    recovery = (
+        GHSRecovery(kernel, nodes, verify_fids=True, audit=audit)
+        if reliable
+        else None
+    )
+    fp = kernel.faults
 
     # ---- Step 1: modified GHS at the giant-component radius -----------------
     kernel.set_stage("step1:hello")
     with perf.timed("eopt.step1.hello"):
-        hello_round(kernel, r1, planes=planes)
+        hello_round(kernel, r1, planes=planes, recovery=recovery)
     kernel.set_stage("step1:ghs")
     with perf.timed("eopt.step1.phases"):
-        phases1 = run_ghs_phases(kernel, nodes)
+        phases1 = run_ghs_phases(kernel, nodes, recovery=recovery)
 
     # ---- Interlude: fragment size census + giant declaration ----------------
     kernel.set_stage("step2:size")
-    leaders = [nd.id for nd in nodes if nd.leader]
     with perf.timed("eopt.census"):
-        kernel.wake(leaders, "size")
-        kernel.run_until_quiescent()
+        if recovery is None:
+            leaders = [nd.id for nd in nodes if nd.leader]
+            kernel.wake(leaders, "size")
+            kernel.run_until_quiescent()
+        else:
+            # Census under faults: SIZE traffic is reliable, so one
+            # settled wake per leader suffices — but a leader inside a
+            # crash window can't hear the wake yet.  Loop until every
+            # surviving leader has a size (never-started nodes and
+            # permanently dead leaders are not counted; their fragments
+            # aren't part of the surviving topology).
+            for _ in range(recovery.max_iters):
+                rnd = kernel.rounds
+                todo = [
+                    nd.id
+                    for nd in nodes
+                    if nd.leader
+                    and nd.fragment_size is None
+                    and not fp.gone_forever(nd.id, rnd)
+                ]
+                if not todo:
+                    break
+                alive = [i for i in todo if not fp.crashed(i, rnd)]
+                if alive:
+                    kernel.wake(alive, "size")
+                    recovery.settle()
+                else:
+                    kernel.tick()
+            else:
+                raise ProtocolError(
+                    "EOPT census did not complete under fault recovery"
+                )
     threshold = giant_size_threshold(n, beta)
     giant_leaders = [
         nd
@@ -130,22 +186,65 @@ def run_eopt(
         giant_leaders = giant_leaders[:1]
     giant_size = 0
     if giant_leaders:
-        giant_size = int(giant_leaders[0].fragment_size)
-        kernel.wake([giant_leaders[0].id], "declare_giant")
-        kernel.run_until_quiescent()
+        g = giant_leaders[0]
+        giant_size = int(g.fragment_size)
+        if recovery is None:
+            kernel.wake([g.id], "declare_giant")
+            kernel.run_until_quiescent()
+        else:
+            waited = 0
+            while fp.crashed(g.id, kernel.rounds):
+                kernel.tick()
+                waited += 1
+                if waited > recovery.max_iters:
+                    raise ProtocolError(
+                        "giant leader's crash window did not expire"
+                    )
+            kernel.wake([g.id], "declare_giant")
+            recovery.settle()
 
     # ---- Step 2: raise power, rediscover, resume over small fragments -------
     kernel.set_max_radius(r2)
     kernel.set_stage("step2:hello")
     with perf.timed("eopt.step2.hello"):
-        hello_round(kernel, r2, planes=planes)
+        hello_round(kernel, r2, planes=planes, recovery=recovery)
     kernel.set_stage("step2:ghs")
-    small_leaders = [nd.id for nd in nodes if nd.leader and not nd.passive]
-    kernel.wake(small_leaders, "activate")
+    if recovery is None:
+        small_leaders = [nd.id for nd in nodes if nd.leader and not nd.passive]
+        kernel.wake(small_leaders, "activate")
+    else:
+        # ``activate`` is a local flag flip; just outlast crash windows.
+        for _ in range(recovery.max_iters):
+            rnd = kernel.rounds
+            todo = [
+                nd.id
+                for nd in nodes
+                if nd.leader
+                and not nd.passive
+                and nd.halted
+                and not fp.gone_forever(nd.id, rnd)
+            ]
+            if not todo:
+                break
+            alive = [i for i in todo if not fp.crashed(i, rnd)]
+            if alive:
+                kernel.wake(alive, "activate")
+            else:
+                kernel.tick()
+        else:
+            raise ProtocolError(
+                "EOPT step-2 activation did not complete under fault recovery"
+            )
     with perf.timed("eopt.step2.phases"):
-        phases2 = run_ghs_phases(kernel, nodes, start_phase=phases1 + 1)
+        phases2 = run_ghs_phases(
+            kernel, nodes, start_phase=phases1 + 1, recovery=recovery
+        )
 
-    if active_leaders(nodes):  # pragma: no cover - defensive
+    remaining = active_leaders(nodes)
+    if remaining and fp is not None and fp.has_crashes:
+        rnd = kernel.rounds
+        remaining = [i for i in remaining if not fp.gone_forever(i, rnd)]
+    if remaining:  # pragma: no cover - defensive
         raise ProtocolError("EOPT finished with active fragments remaining")
 
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in nodes)

@@ -28,8 +28,17 @@ from repro.ds.unionfind import UnionFind
 from repro.errors import ProtocolError
 
 
-def audit_ghs_state(nodes: Sequence[GHSNode]) -> dict:
-    """Validate all invariants; returns summary stats, raises on violation."""
+def audit_ghs_state(nodes: Sequence[GHSNode], *, strict_fids: bool = True) -> dict:
+    """Validate all invariants; returns summary stats, raises on violation.
+
+    ``strict_fids=False`` relaxes the fragment-id uniformity checks for
+    *mid-run* settle points (fault recovery audits between phases): right
+    after a stage-B merge the members of a just-merged cluster still hold
+    their pre-merge ids until the next INITIATE flood — by design, not by
+    fault.  The safety-critical invariants (tree symmetry, acyclicity,
+    leader uniqueness, orientation, no invented same-fragment claims)
+    are checked in both modes.
+    """
     n = len(nodes)
 
     # -- tree-edge symmetry and acyclicity ---------------------------------
@@ -48,23 +57,24 @@ def audit_ghs_state(nodes: Sequence[GHSNode]) -> dict:
                         f"cycle in tree edges at ({nd.id}, {v})"
                     )
 
-    # -- fragment-id uniformity --------------------------------------------
-    frag_fid: dict[int, int] = {}
-    for nd in nodes:
-        root = uf.find(nd.id)
-        if root in frag_fid:
-            if frag_fid[root] != nd.fid:
+    # -- fragment-id uniformity (final quiescence only) ---------------------
+    if strict_fids:
+        frag_fid: dict[int, int] = {}
+        for nd in nodes:
+            root = uf.find(nd.id)
+            if root in frag_fid:
+                if frag_fid[root] != nd.fid:
+                    raise ProtocolError(
+                        f"fragment of node {nd.id} has mixed ids "
+                        f"{frag_fid[root]} and {nd.fid}"
+                    )
+            else:
+                frag_fid[root] = nd.fid
+        for root, fid in frag_fid.items():
+            if not (0 <= fid < n) or uf.find(fid) != root:
                 raise ProtocolError(
-                    f"fragment of node {nd.id} has mixed ids "
-                    f"{frag_fid[root]} and {nd.fid}"
+                    f"fragment id {fid} does not belong to its own fragment"
                 )
-        else:
-            frag_fid[root] = nd.fid
-    for root, fid in frag_fid.items():
-        if not (0 <= fid < n) or uf.find(fid) != root:
-            raise ProtocolError(
-                f"fragment id {fid} does not belong to its own fragment"
-            )
 
     # -- leadership ------------------------------------------------------------
     leaders_per_fragment: dict[int, list[int]] = {}
@@ -107,3 +117,45 @@ def audit_ghs_state(nodes: Sequence[GHSNode]) -> dict:
         "n_passive": sum(1 for nd in nodes if nd.passive),
         "n_tree_edges": sum(len(nd.tree_edges) for nd in nodes) // 2,
     }
+
+
+def audit_recovery(nodes: Sequence[GHSNode], *, kernel) -> dict:
+    """Fragment-invariant safety check at a fault-recovery settle point.
+
+    Runs the full :func:`audit_ghs_state` sweep plus the recovery-layer
+    invariants a settled barrier must satisfy:
+
+    * no node that could still act holds unacknowledged reliable traffic
+      (the settle loop's job is to drain it);
+    * a node that crashed at round 0 and never restarts took part in
+      nothing: it holds no tree edges and no surviving node holds a tree
+      edge to it (it was never heard, so it was never connected to).
+    """
+    summary = audit_ghs_state(nodes, strict_fids=False)
+    fp = kernel.faults
+    rnd = kernel.rounds
+    for nd in nodes:
+        retry = getattr(nd, "retry", None)
+        if retry is not None and retry.pending:
+            if fp is None or not fp.gone_forever(nd.id, rnd):
+                raise ProtocolError(
+                    f"node {nd.id} still holds {len(retry.pending)} "
+                    "unacknowledged reliable messages at a settle point"
+                )
+    if fp is not None and fp.has_crashes:
+        for nd in nodes:
+            if fp.gone_forever(nd.id, rnd) and fp.crash_start(nd.id) == 0:
+                if nd.tree_edges:
+                    raise ProtocolError(
+                        f"never-started node {nd.id} holds tree edges "
+                        f"{sorted(nd.tree_edges)}"
+                    )
+                holders = [
+                    o.id for o in nodes if nd.id in o.tree_edges
+                ]
+                if holders:
+                    raise ProtocolError(
+                        f"nodes {holders} hold tree edges to never-started "
+                        f"node {nd.id}"
+                    )
+    return summary

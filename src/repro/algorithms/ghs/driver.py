@@ -14,6 +14,23 @@ A phase has two quiescence-separated stages (see DESIGN.md —
 The loop ends when no active leader remains: every fragment either halted
 (no outgoing edge — it spans its whole component) or was absorbed into the
 passive giant.
+
+**Fault recovery.**  Under an injected fault plane (``repro.sim.faults``)
+the same barriers become *recovery* points: :class:`GHSRecovery` replaces
+each ``run_until_quiescent`` with a settle loop that (1) drives the
+nodes' reliable-unicast retransmissions (``retry_tick`` wakes, capped
+exponential backoff), (2) re-floods HELLO/ANNOUNCE slots that a receiver
+is missing or holds stale (``rehello`` wakes — floods carry no sequence
+numbers, so re-flooding *is* their retransmission), (3) re-wakes
+``find_moe`` for participants whose wake was swallowed by a crash
+window, and (4) idles the round clock (``kernel.tick``) while every
+remaining repair waits on a crash window to expire.  Transient crashes
+(pause/restart) and never-started nodes (crashed from round 0, forever)
+recover to the exact MST of the surviving topology; a node that
+participates and *then* crashes forever is reported as a
+:class:`~repro.errors.ProtocolError` (by retry exhaustion, settle
+non-convergence, or the explicit leader check) — never as a silently
+wrong tree.
 """
 
 from __future__ import annotations
@@ -34,18 +51,264 @@ def active_leaders(nodes: Sequence[GHSNode]) -> list[int]:
     return [nd.id for nd in nodes if nd.leader and not nd.halted and not nd.passive]
 
 
+class GHSRecovery:
+    """Driver-side settle/repair loop for GHS-family runs under faults.
+
+    One instance is shared by :func:`hello_round` and
+    :func:`run_ghs_phases` for a run; it owns no protocol state, only
+    repair bookkeeping (the current flood radius and a per-radius
+    neighbour-pair cache for dict-mode repair).
+
+    ``verify_fids`` selects the staleness criterion for flood repair:
+    modified-mode runs (no TEST probes) require every in-range cache
+    entry to hold the sender's *current* fragment id — a stale id could
+    invent an outgoing edge inside a fragment, and two fragments joining
+    over two different edges is a cycle.  Original GHS only needs
+    *existence* (id + distance); fragment membership is established by
+    TEST/ACCEPT at probe time.
+    """
+
+    __slots__ = ("kernel", "nodes", "verify_fids", "audit_every", "max_iters", "_radius", "_pairs")
+
+    def __init__(
+        self,
+        kernel: SynchronousKernel,
+        nodes: Sequence[GHSNode],
+        *,
+        verify_fids: bool,
+        audit: bool = False,
+        max_iters: int = 200_000,
+    ) -> None:
+        self.kernel = kernel
+        self.nodes = nodes
+        self.verify_fids = verify_fids
+        self.audit_every = audit
+        self.max_iters = max_iters
+        self._radius = 0.0
+        self._pairs: dict[float, np.ndarray] = {}
+
+    # -- repair primitives -------------------------------------------------
+
+    def _pair_array(self, radius: float) -> np.ndarray:
+        """All (u, v) node pairs within ``radius`` (dict-mode repair)."""
+        pairs = self._pairs.get(radius)
+        if pairs is None:
+            tree = self.kernel._tree
+            if tree is None:
+                pairs = np.empty((0, 2), dtype=np.intp)
+            else:
+                pairs = tree.query_pairs(radius, output_type="ndarray")
+            self._pairs[radius] = pairs
+        return pairs
+
+    def _stale_floods(self, rnd: int) -> tuple[list[int], bool]:
+        """Senders whose HELLO/ANNOUNCE some receiver is missing.
+
+        Returns ``(ready, blocked)``: ``ready`` are alive senders to
+        re-wake with ``rehello`` now; ``blocked`` is True when at least
+        one stale pair waits on a transient crash window (sender or
+        receiver down) and the caller should idle a round.  Pairs with a
+        permanently dead endpoint are unrepairable by design and are
+        excluded: a never-heard dead neighbour simply isn't part of the
+        surviving topology.
+        """
+        radius = self._radius
+        if radius <= 0.0 or not self.nodes:
+            return [], False
+        kernel = self.kernel
+        fp = kernel.faults
+        nodes = self.nodes
+        n = len(nodes)
+        cache = nodes[0].cache
+        if cache is not None:
+            # Plane/cache mode: one vectorized scan over the CSR slots.
+            senders_all = cache.ids
+            recv_all = np.repeat(
+                np.arange(n, dtype=np.intp), np.diff(cache.indptr)
+            )
+            bad = ~cache.known
+            if self.verify_fids:
+                fids = np.fromiter(
+                    (nd.fid for nd in nodes), dtype=np.int64, count=n
+                )
+                bad |= cache.fid != fids[senders_all]
+            bad &= cache.dists <= radius * (1.0 + 1e-12)
+            idx = np.flatnonzero(bad)
+            if len(idx) == 0:
+                return [], False
+            s_ids = senders_all[idx].astype(np.intp, copy=False)
+            r_ids = recv_all[idx]
+            keep = ~(fp.gone_mask(s_ids, rnd) | fp.gone_mask(r_ids, rnd))
+            s_ids, r_ids = s_ids[keep], r_ids[keep]
+            if len(s_ids) == 0:
+                return [], False
+            waiting = fp.crashed_mask(s_ids, rnd) | fp.crashed_mask(r_ids, rnd)
+            ready = np.unique(s_ids[~waiting])
+            return ready.tolist(), bool(waiting.any())
+        # Dict mode: walk the geometric pair list.
+        ready: set[int] = set()
+        blocked = False
+        verify = self.verify_fids
+        for u, v in self._pair_array(radius):
+            for s, r in ((int(u), int(v)), (int(v), int(u))):
+                nd = nodes[r]
+                cached = nd.nb_fragment.get(s)
+                if cached is not None and not (verify and cached != nodes[s].fid):
+                    continue
+                if fp.gone_forever(s, rnd) or fp.gone_forever(r, rnd):
+                    continue
+                if fp.crashed(s, rnd) or fp.crashed(r, rnd):
+                    blocked = True
+                else:
+                    ready.add(s)
+        return sorted(ready), blocked
+
+    def _unsearched(self, phase: int, rnd: int) -> tuple[list[int], bool]:
+        """Phase participants whose ``find_moe`` wake a crash swallowed.
+
+        Safe to re-wake only because the settle loop calls this with no
+        reliable traffic pending anywhere: a node mid-TEST has either an
+        unacked TEST in flight or a probe outstanding with
+        ``_test_idx > 0``, so ``_test_idx == 0`` + ``not _search_done``
+        means the search genuinely never started.
+        """
+        fp = self.kernel.faults
+        todo: list[int] = []
+        waiting = False
+        for nd in self.nodes:
+            if (
+                nd.cur_phase == phase
+                and not nd.passive
+                and not nd._search_done
+                and nd._test_idx == 0
+            ):
+                if fp.gone_forever(nd.id, rnd):
+                    continue
+                if fp.crashed(nd.id, rnd):
+                    waiting = True
+                else:
+                    todo.append(nd.id)
+        return todo, waiting
+
+    # -- the settle loop ---------------------------------------------------
+
+    def settle(self, phase: int | None = None) -> None:
+        """Run to quiescence *and* repaired: retries drained, floods
+        fresh, (stage B) every participant searched.
+
+        ``phase`` enables the stage-B straggler re-wake; ``None`` (hello
+        rounds, stage A) skips it.
+        """
+        kernel = self.kernel
+        nodes = self.nodes
+        fp = kernel.faults
+        if fp is None:
+            kernel.run_until_quiescent()
+        else:
+            for _ in range(self.max_iters):
+                kernel.run_until_quiescent()
+                rnd = kernel.rounds
+                holders = [
+                    nd.id
+                    for nd in nodes
+                    if nd.retry is not None and nd.retry.pending
+                ]
+                if holders:
+                    alive = [i for i in holders if not fp.crashed(i, rnd)]
+                    if alive:
+                        kernel.wake(alive, "retry_tick")
+                        if not kernel.in_flight:
+                            kernel.tick()  # backoff armed: let a round pass
+                    else:
+                        kernel.tick()  # every holder is down: wait
+                    continue
+                ready, blocked = self._stale_floods(rnd)
+                if ready:
+                    kernel.wake(ready, "rehello")
+                    if not kernel.in_flight:
+                        blocked = True  # crashed between check and wake
+                    else:
+                        continue
+                if blocked:
+                    kernel.tick()
+                    continue
+                if phase is not None:
+                    todo, waiting = self._unsearched(phase, rnd)
+                    if todo:
+                        kernel.wake(todo, "find_moe", (phase,))
+                        continue
+                    if waiting:
+                        kernel.tick()
+                        continue
+                break
+            else:
+                raise ProtocolError(
+                    f"fault recovery did not settle in {self.max_iters} "
+                    "iterations (permanently crashed peer mid-protocol?)"
+                )
+        if self.audit_every:
+            from repro.algorithms.ghs.audit import audit_recovery
+
+            audit_recovery(nodes, kernel=kernel)
+
+
+def _live_leaders(
+    kernel: SynchronousKernel, nodes: Sequence[GHSNode]
+) -> list[int]:
+    """Active leaders, fault-aware: waits out transient crash windows,
+    drops never-started nodes, rejects mid-run permanent leader deaths.
+
+    A node crashed from round 0 forever is still in its initial
+    ``leader=True`` state but can never act — its (singleton) fragment
+    simply isn't part of the surviving topology, so it is dropped from
+    the phase loop.  A leader that *participated* and then died forever
+    would leave its whole fragment silently orphaned; that is out of
+    recovery scope and raised as an error instead.  Transiently crashed
+    leaders gate the phase barrier: the clock idles until every surviving
+    leader can hear its ``initiate`` wake.
+    """
+    leaders = active_leaders(nodes)
+    fp = kernel.faults
+    if fp is None or not fp.has_crashes or not leaders:
+        return leaders
+    rnd = kernel.rounds
+    alive = []
+    for i in leaders:
+        if fp.gone_forever(i, rnd):
+            if fp.crash_start(i) > 0:
+                raise ProtocolError(
+                    f"fragment leader {i} crashed permanently at round "
+                    f"{fp.crash_start(i)} after participating; recovery "
+                    "only covers transient crashes and never-started nodes"
+                )
+            continue  # crashed from round 0: never part of the run
+        alive.append(i)
+    waited = 0
+    while any(fp.crashed(i, kernel.rounds) for i in alive):
+        kernel.tick()
+        waited += 1
+        if waited > 1_000_000:
+            raise ProtocolError(
+                "a fragment leader's crash window did not expire within "
+                "1000000 rounds"
+            )
+    return alive
+
+
 def run_ghs_phases(
     kernel: SynchronousKernel,
     nodes: Sequence[GHSNode],
     *,
     start_phase: int = 1,
     max_phases: int | None = None,
+    recovery: GHSRecovery | None = None,
 ) -> int:
     """Run Borůvka phases until no active fragment remains.
 
     Returns the number of phases executed.  ``start_phase`` offsets the
     phase counter so EOPT's step 2 continues the numbering of step 1
-    (phase numbers only need to be fresh, never dense).
+    (phase numbers only need to be fresh, never dense).  ``recovery``
+    (fault runs) replaces each stage barrier with a settle/repair loop.
     """
     n = max(len(nodes), 2)
     if max_phases is None:
@@ -54,8 +317,9 @@ def run_ghs_phases(
         max_phases = 2 * int(math.log2(n)) + 20
     phase = start_phase - 1
     executed = 0
+    fp = kernel.faults
     while True:
-        leaders = active_leaders(nodes)
+        leaders = _live_leaders(kernel, nodes)
         if not leaders:
             return executed
         phase += 1
@@ -66,10 +330,19 @@ def run_ghs_phases(
                 f"({len(leaders)} active fragments remain)"
             )
         kernel.wake(leaders, "initiate", (phase,))
-        kernel.run_until_quiescent()
+        if recovery is not None:
+            recovery.settle()
+        else:
+            kernel.run_until_quiescent()
         participants = [
             nd.id for nd in nodes if nd.cur_phase == phase and not nd.passive
         ]
+        if fp is not None and fp.has_crashes:
+            # A crashed participant can't be woken (and must not be fed a
+            # driver-computed MOE — it is radio-off); the stage-B settle
+            # re-wakes it once its window expires.
+            rnd = kernel.rounds
+            participants = [i for i in participants if not fp.crashed(i, rnd)]
         cache = nodes[0].cache if nodes else None
         if participants and cache is not None and not nodes[0].use_tests:
             # Modified-mode MOE over the flood cache: one masked
@@ -92,11 +365,18 @@ def run_ghs_phases(
                     nd.apply_moe(cand_l[idx], kd_l[idx], klo_l[idx], khi_l[idx])
         else:
             kernel.wake(participants, "find_moe", (phase,))
-        kernel.run_until_quiescent()
+        if recovery is not None:
+            recovery.settle(phase=phase)
+        else:
+            kernel.run_until_quiescent()
 
 
 def hello_round(
-    kernel: SynchronousKernel, radius: float, *, planes: bool = True
+    kernel: SynchronousKernel,
+    radius: float,
+    *,
+    planes: bool = True,
+    recovery: GHSRecovery | None = None,
 ) -> None:
     """Make every node broadcast HELLO(fid) at ``radius`` and settle.
 
@@ -113,6 +393,8 @@ def hello_round(
     wake path runs and nodes fall back to their dict caches.
     """
     nodes = kernel.nodes
+    fp = kernel.faults
+    r = float(radius)
     cache = None
     if planes and nodes and all(isinstance(nd, GHSNode) for nd in nodes):
         cache = FloodCache.ensure(kernel)
@@ -120,17 +402,29 @@ def hello_round(
         kernel.set_plane_handler(cache.on_plane)
         for nd in nodes:
             nd.attach_cache(cache)
-        r = float(radius)
         for nd in nodes:
             nd.radio_radius = r
-        fids = np.fromiter((nd.fid for nd in nodes), dtype=np.int64, count=kernel.n)
         senders = np.arange(kernel.n, dtype=np.intp)
-        if not kernel.broadcast_plane(senders, r, "HELLO", fids):
+        if fp is not None and fp.has_crashes:
+            # Crashed nodes transmit nothing (matches the wake path,
+            # which skips them); recovery re-floods them on restart.
+            senders = senders[~fp.crashed_mask(senders, kernel.rounds)]
+        fids = np.fromiter(
+            (nodes[i].fid for i in senders), dtype=np.int64, count=len(senders)
+        )
+        if len(senders) and not kernel.broadcast_plane(senders, r, "HELLO", fids):
             cache = None  # table vanished between ensure() and send
     if cache is None:
         kernel.set_plane_handler(None)
         for nd in nodes:
             if isinstance(nd, GHSNode):
                 nd.attach_cache(None)
+                # Pre-assign the radius: a node crashed through this
+                # wake still needs it for recovery re-floods.
+                nd.radio_radius = r
         kernel.wake(range(kernel.n), "hello", (radius,))
-    kernel.run_until_quiescent()
+    if recovery is not None:
+        recovery._radius = r
+        recovery.settle()
+    else:
+        kernel.run_until_quiescent()

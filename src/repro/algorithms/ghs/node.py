@@ -39,11 +39,17 @@ import math
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.sim.faults import RetryBuffer
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
 
 #: Sentinel edge key meaning "no outgoing edge".
 NO_EDGE: tuple[float, int, int] = (math.inf, -1, -1)
+
+#: Kinds that bypass the reliable layer: floods are repaired by
+#: re-flooding (driver ``rehello``), and ACKs acknowledging ACKs would
+#: never terminate.
+_UNRELIABLE_KINDS = frozenset(("HELLO", "ANNOUNCE", "ACK"))
 
 
 class GHSNode(NodeProcess):
@@ -54,6 +60,8 @@ class GHSNode(NodeProcess):
         "use_tests",
         "announce",
         "radio_radius",
+        "reliable",
+        "retry",
         # durable knowledge
         "neighbors",      # id -> distance (learned from HELLO/ANNOUNCE deliveries)
         "nb_fragment",    # id -> fragment id (modified mode caches)
@@ -96,10 +104,17 @@ class GHSNode(NodeProcess):
         "_size_acc",
     )
 
-    def __init__(self, node_id, ctx, *, use_tests: bool, announce: bool) -> None:
+    def __init__(
+        self, node_id, ctx, *, use_tests: bool, announce: bool, reliable: bool = False
+    ) -> None:
         super().__init__(node_id, ctx)
         self.use_tests = use_tests
         self.announce = announce
+        # Reliable mode wraps every protocol unicast in the RetryBuffer's
+        # seq/ACK/dedup envelope (fault recovery); off by default so the
+        # fault-free message trace stays bit-identical to the paper model.
+        self.reliable = reliable
+        self.retry = RetryBuffer(ctx) if reliable else None
         self.radio_radius = 0.0
         self.neighbors: dict[int, float] = {}
         self.nb_fragment: dict[int, int] = {}
@@ -202,6 +217,13 @@ class GHSNode(NodeProcess):
             if self.cache is None or not self.ctx.plane_broadcast(r, "ANNOUNCE", self.fid):
                 self.ctx.local_broadcast(r, "ANNOUNCE", self.fid)
 
+    def _send(self, dst: int, kind: str, *payload) -> None:
+        """Protocol unicast, routed through the reliable layer if enabled."""
+        if self.reliable and kind not in _UNRELIABLE_KINDS:
+            self.retry.send(dst, kind, payload)
+        else:
+            self.ctx.unicast(dst, kind, *payload)
+
     # ------------------------------------------------------------- wake hooks
 
     def on_wake(self, signal: str, payload: tuple = ()) -> None:
@@ -224,6 +246,15 @@ class GHSNode(NodeProcess):
             self._wake_declare_giant()
         elif signal == "activate":
             self.halted = False
+        elif signal == "retry_tick":
+            if self.retry is not None:
+                self.retry.tick()
+        elif signal == "rehello":
+            # Recovery re-flood: same HELLO the node would send on "hello",
+            # at the radius the driver already assigned.
+            r = self.radio_radius
+            if self.cache is None or not self.ctx.plane_broadcast(r, "HELLO", self.fid):
+                self.ctx.local_broadcast(r, "HELLO", self.fid)
         else:
             raise ProtocolError(f"unknown wake signal {signal!r}")
 
@@ -237,7 +268,7 @@ class GHSNode(NodeProcess):
         self.children = tuple(self.tree_edges)
         self._maybe_announce(changed)
         for c in self.children:
-            self.ctx.unicast(c, "INITIATE", self.fid, phase)
+            self._send(c, "INITIATE", self.fid, phase)
 
     def _wake_size(self) -> None:
         if not self.leader:
@@ -248,42 +279,60 @@ class GHSNode(NodeProcess):
             self.fragment_size = 1
         else:
             for c in self.children:
-                self.ctx.unicast(c, "SIZE_REQ")
+                self._send(c, "SIZE_REQ")
 
     def _wake_declare_giant(self) -> None:
         self.passive = True
         self.is_giant = True
         self.halted = True
         for e in self.tree_edges:
-            self.ctx.unicast(e, "GIANT")
+            self._send(e, "GIANT")
 
     # --------------------------------------------------------- message hooks
 
     def on_message(self, msg: Message, distance: float) -> None:
         kind = msg.kind
         src = msg.src
+        payload = msg.payload
+        if self.reliable and kind not in _UNRELIABLE_KINDS:
+            # Reliable envelope: payload[0] is the sender's sequence
+            # number.  ACK every copy (the sender may be retransmitting
+            # because our previous ACK was lost), process only the first.
+            seq = payload[0]
+            self.ctx.unicast(src, "ACK", seq)
+            if not self.retry.accept(src, seq):
+                return
+            payload = payload[1:]
+        elif kind == "ACK":
+            if self.retry is None:
+                raise ProtocolError(f"node {self.id}: ACK received in unreliable mode")
+            self.retry.on_ack(payload[0])
+            return
+        self._dispatch(kind, src, payload, distance)
+
+    def _dispatch(self, kind: str, src: int, payload: tuple, distance: float) -> None:
         if kind == "HELLO":
             if self.cache is not None:
-                self._cache_learn(src, msg.payload[0])
+                self._cache_learn(src, payload[0])
             else:
                 self.neighbors[src] = distance
-                self.nb_fragment[src] = msg.payload[0]
+                self.nb_fragment[src] = payload[0]
         elif kind == "ANNOUNCE":
             if self.cache is not None:
-                self._cache_learn(src, msg.payload[0])
+                self._cache_learn(src, payload[0])
             else:
                 self.neighbors.setdefault(src, distance)
-                self.nb_fragment[src] = msg.payload[0]
+                self.nb_fragment[src] = payload[0]
         elif kind == "INITIATE":
-            fid, phase = msg.payload
+            fid, phase = payload
             self._on_initiate(src, fid, phase)
         elif kind == "TEST":
-            (fid,) = msg.payload
+            (fid,) = payload
             if fid != self.fid:
-                self.ctx.unicast(src, "ACCEPT")
+                self._send(src, "ACCEPT")
             else:
                 self.rejected.add(src)  # same fragment forever
-                self.ctx.unicast(src, "REJECT")
+                self._send(src, "REJECT")
         elif kind == "ACCEPT":
             self._cand_nb = src
             self._cand_key = self._edge_key(src, self._dist_to(src))
@@ -293,7 +342,7 @@ class GHSNode(NodeProcess):
             self.rejected.add(src)
             self._continue_tests()
         elif kind == "REPORT":
-            d, lo, hi = msg.payload
+            d, lo, hi = payload
             self._reports_recv += 1
             key = (d, lo, hi)
             if key < self._best_key:
@@ -305,12 +354,12 @@ class GHSNode(NodeProcess):
         elif kind == "CONNECT":
             self._on_connect(src)
         elif kind == "ABSORB":
-            (fid,) = msg.payload
+            (fid,) = payload
             self._on_absorb(src, fid)
         elif kind == "SIZE_REQ":
             self._on_size_req(src)
         elif kind == "SIZE_RESP":
-            (count,) = msg.payload
+            (count,) = payload
             self._on_size_resp(count)
         elif kind == "GIANT":
             self._on_giant(src)
@@ -328,7 +377,7 @@ class GHSNode(NodeProcess):
         self.children = tuple(e for e in self.tree_edges if e != src)
         self._maybe_announce(changed)
         for c in self.children:
-            self.ctx.unicast(c, "INITIATE", fid, phase)
+            self._send(c, "INITIATE", fid, phase)
 
     # -- phase stage B: MOE search -------------------------------------------
 
@@ -418,7 +467,7 @@ class GHSNode(NodeProcess):
             self._test_idx += 1
             if nb in self.rejected or nb in self._phase_tree:
                 continue
-            self.ctx.unicast(nb, "TEST", self.fid)
+            self._send(nb, "TEST", self.fid)
             return
         self._search_done = True
         self._try_report()
@@ -437,7 +486,7 @@ class GHSNode(NodeProcess):
             self._final_key, self._final_from = self._best_key, self._best_child
         if self.parent is not None:
             d, lo, hi = self._final_key
-            self.ctx.unicast(self.parent, "REPORT", d, lo, hi)
+            self._send(self.parent, "REPORT", d, lo, hi)
         else:
             # Leader decides for the fragment.
             if self._final_key == NO_EDGE:
@@ -453,12 +502,12 @@ class GHSNode(NodeProcess):
                 raise ProtocolError(f"node {self.id}: CHANGEROOT with no candidate")
             self._sent_connect_to = nb
             self.tree_edges.add(nb)
-            self.ctx.unicast(nb, "CONNECT", self.fid)
+            self._send(nb, "CONNECT", self.fid)
             # The reciprocal CONNECT may already have arrived this phase.
             if nb in self._connects_in and self.id > nb:
                 self.leader = True
         else:
-            self.ctx.unicast(self._final_from, "CHANGEROOT")
+            self._send(self._final_from, "CHANGEROOT")
 
     # -- phase stage B: merging -------------------------------------------------
 
@@ -466,7 +515,7 @@ class GHSNode(NodeProcess):
         self.tree_edges.add(src)
         if self.passive:
             # Giant (or already-absorbed) side: accept and absorb (Sec. V).
-            self.ctx.unicast(src, "ABSORB", self.fid)
+            self._send(src, "ABSORB", self.fid)
             return
         self._connects_in.add(src)
         if self._sent_connect_to == src and self.id > src:
@@ -482,18 +531,18 @@ class GHSNode(NodeProcess):
         self._maybe_announce(True)  # "small fragments change their ids"
         for e in self.tree_edges:
             if e != src:
-                self.ctx.unicast(e, "ABSORB", fid)
+                self._send(e, "ABSORB", fid)
 
     # -- size census (EOPT step 2 preamble) ---------------------------------------
 
     def _on_size_req(self, src: int) -> None:
         if not self.children:
-            self.ctx.unicast(src, "SIZE_RESP", 1)
+            self._send(src, "SIZE_RESP", 1)
             return
         self._size_pending = len(self.children)
         self._size_acc = 1
         for c in self.children:
-            self.ctx.unicast(c, "SIZE_REQ")
+            self._send(c, "SIZE_REQ")
 
     def _on_size_resp(self, count: int) -> None:
         self._size_acc += count
@@ -502,7 +551,7 @@ class GHSNode(NodeProcess):
             if self.parent is None:
                 self.fragment_size = self._size_acc
             else:
-                self.ctx.unicast(self.parent, "SIZE_RESP", self._size_acc)
+                self._send(self.parent, "SIZE_RESP", self._size_acc)
 
     def _on_giant(self, src: int) -> None:
         if self.passive:
@@ -512,4 +561,4 @@ class GHSNode(NodeProcess):
         self.leader = False
         for e in self.tree_edges:
             if e != src:
-                self.ctx.unicast(e, "GIANT")
+                self._send(e, "GIANT")

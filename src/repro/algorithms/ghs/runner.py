@@ -10,10 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import AlgorithmResult, collect_tree_edges
-from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
+from repro.algorithms.ghs.driver import GHSRecovery, hello_round, run_ghs_phases
 from repro.algorithms.ghs.node import GHSNode
 from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
 from repro.perf import perf
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -30,21 +31,38 @@ def _run_family(
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
     planes: bool = True,
+    faults: FaultPlan | None = None,
+    recover: bool = True,
+    audit: bool = False,
 ) -> AlgorithmResult:
     pts = np.asarray(points, dtype=float)
     n = len(pts)
     r = connectivity_radius(n, radius_const) if radius is None else float(radius)
-    kernel = kernel_cls(pts, max_radius=r, power=power, rx_cost=rx_cost)
+    kwargs = {}
+    if faults is not None:
+        kwargs["faults"] = faults
+    kernel = kernel_cls(pts, max_radius=r, power=power, rx_cost=rx_cost, **kwargs)
+    # Recovery (reliable unicasts + settle/repair barriers) engages only
+    # when faults are actually injected: the fault-free message trace
+    # must stay bit-identical to the paper model.
+    reliable = faults is not None and not faults.is_null and recover
     kernel.add_nodes(
-        lambda i, ctx: GHSNode(i, ctx, use_tests=use_tests, announce=announce)
+        lambda i, ctx: GHSNode(
+            i, ctx, use_tests=use_tests, announce=announce, reliable=reliable
+        )
+    )
+    recovery = (
+        GHSRecovery(kernel, kernel.nodes, verify_fids=not use_tests, audit=audit)
+        if reliable
+        else None
     )
     kernel.start()
     kernel.set_stage("hello")
     with perf.timed(f"{name.lower()}.hello"):
-        hello_round(kernel, r, planes=planes)
+        hello_round(kernel, r, planes=planes, recovery=recovery)
     kernel.set_stage("phases")
     with perf.timed(f"{name.lower()}.phases"):
-        phases = run_ghs_phases(kernel, kernel.nodes)
+        phases = run_ghs_phases(kernel, kernel.nodes, recovery=recovery)
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in kernel.nodes)
     stats = kernel.stats()
     fragments = {nd.fid for nd in kernel.nodes}
@@ -71,6 +89,9 @@ def run_ghs(
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
     planes: bool = True,
+    faults: FaultPlan | None = None,
+    recover: bool = True,
+    audit: bool = False,
 ) -> AlgorithmResult:
     """Run the original GHS algorithm (with TEST probing) on ``points``.
 
@@ -96,6 +117,17 @@ def run_ghs(
         Use the flood-plane fast path for HELLO/ANNOUNCE when the kernel
         supports it (``False`` forces per-message delivery; results are
         bit-identical either way).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` injecting message
+        loss, duplication and crash windows.
+    recover:
+        Enable the reliable-unicast + settle/repair recovery layer when
+        faults are injected (default).  ``False`` runs the unprotected
+        protocol against the faults — useful only for demonstrating why
+        recovery is needed.
+    audit:
+        Assert fragment-invariant safety (``audit_recovery``) after
+        every recovery settle point.
     """
     return _run_family(
         points,
@@ -108,6 +140,9 @@ def run_ghs(
         rx_cost=rx_cost,
         kernel_cls=kernel_cls,
         planes=planes,
+        faults=faults,
+        recover=recover,
+        audit=audit,
     )
 
 
@@ -120,6 +155,9 @@ def run_modified_ghs(
     rx_cost: float = 0.0,
     kernel_cls: type[SynchronousKernel] = SynchronousKernel,
     planes: bool = True,
+    faults: FaultPlan | None = None,
+    recover: bool = True,
+    audit: bool = False,
 ) -> AlgorithmResult:
     """Run the modified GHS (neighbour caches + ANNOUNCE) on ``points``.
 
@@ -138,4 +176,7 @@ def run_modified_ghs(
         rx_cost=rx_cost,
         kernel_cls=kernel_cls,
         planes=planes,
+        faults=faults,
+        recover=recover,
+        audit=audit,
     )

@@ -20,12 +20,44 @@ from repro.experiments.config import BENCH_NS, SweepConfig
 from repro.experiments.report import format_table
 
 
+def _parse_crash(spec: str) -> tuple[int, int, int | None]:
+    """Parse a ``NODE:START[:END]`` crash-window spec."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"crash spec {spec!r} is not NODE:START[:END]"
+        )
+    try:
+        node, start = int(parts[0]), int(parts[1])
+        end = int(parts[2]) if len(parts) == 3 else None
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"crash spec {spec!r} has non-integer fields"
+        ) from exc
+    return (node, start, end)
+
+
+def _build_fault_plan(args):
+    """A :class:`FaultPlan` from the ``run`` flags, or None when unused."""
+    if not (args.drop_rate or args.dup_rate or args.crash):
+        return None
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop_rate,
+        dup_rate=args.dup_rate,
+        crashes=tuple(args.crash),
+    )
+
+
 def _cmd_run(args) -> int:
     from repro.experiments.runner import run_algorithm
     from repro.geometry.points import uniform_points
 
     pts = uniform_points(args.n, seed=args.seed)
-    res = run_algorithm(args.algorithm, pts)
+    faults = _build_fault_plan(args)
+    res = run_algorithm(args.algorithm, pts, faults=faults)
     print(res.summary())
     print("\nper message kind:")
     rows = [(k, m, f"{e:.4f}") for k, m, e in res.stats.kind_table()]
@@ -34,6 +66,12 @@ def _cmd_run(args) -> int:
         print("\nper stage:")
         rows = [(s, m, f"{e:.4f}") for s, m, e in res.stats.stage_table()]
         print(format_table(["stage", "messages", "energy"], rows))
+    if faults is not None:
+        print("\nfault plane:")
+        rows = [
+            (k, d, c, u) for k, d, c, u in res.stats.fault_table()
+        ]
+        print(format_table(["kind", "dropped", "crash-dropped", "dup"], rows))
     return 0
 
 
@@ -186,6 +224,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-n", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--perf", action="store_true", help=perf_help)
+    run.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="per-delivery message loss probability (fault plane)",
+    )
+    run.add_argument(
+        "--dup-rate",
+        type=float,
+        default=0.0,
+        help="per-delivery duplicate probability (fault plane)",
+    )
+    run.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        default=[],
+        metavar="NODE:START[:END]",
+        help="crash window: node radio off for rounds [START, END) "
+        "(END omitted = forever); repeatable",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault plane",
+    )
     run.set_defaults(func=_cmd_run)
 
     f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")

@@ -20,11 +20,13 @@ module level across sweeps: spawning workers pays interpreter start-up
 and a cold instance cache on every call otherwise, which dwarfs small
 sweeps.  :func:`shutdown` tears it down explicitly (tests, clean exits);
 a sweep that dies with a broken pool also tears it down so the next call
-gets fresh workers.
+gets fresh workers, and an ``atexit`` hook shuts it down at interpreter
+exit so no sweep-and-exit process leaks its workers.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -59,6 +61,13 @@ def shutdown() -> None:
         _pool.shutdown()
         _pool = None
         _pool_workers = 0
+
+
+# A process that sweeps and exits without calling shutdown() would leak
+# the worker processes until interpreter teardown reaps them (and under
+# some start methods hang joining them).  Registering shutdown() makes
+# the module-level pool safe to hold for the process lifetime.
+atexit.register(shutdown)
 
 
 def _run_cell(task: tuple) -> tuple:

@@ -20,26 +20,42 @@ from repro.algorithms.randnnt import run_randnnt
 from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.experiments.instances import get_points
+from repro.sim.faults import FaultPlan
 
 
 def run_algorithm(
-    name: str, points: np.ndarray, config: SweepConfig | None = None
+    name: str,
+    points: np.ndarray,
+    config: SweepConfig | None = None,
+    *,
+    faults: FaultPlan | None = None,
 ) -> AlgorithmResult:
     """Run the algorithm labelled ``name`` with the sweep's constants.
 
     Accepted labels: ``"GHS"``, ``"MGHS"``, ``"EOPT"``, ``"Co-NNT"``,
     ``"Rand-NNT"`` (the [15] baseline from the paper's Related Work).
+
+    ``faults`` threads a seeded :class:`FaultPlan` into the runner; the
+    GHS family and Co-NNT recover (ACK/retry), Rand-NNT has no recovery
+    layer and rejects a non-null plan.
     """
     cfg = config or SweepConfig()
+    fkw = {} if faults is None else {"faults": faults}
     if name == "GHS":
-        return run_ghs(points, radius_const=cfg.ghs_radius_const)
+        return run_ghs(points, radius_const=cfg.ghs_radius_const, **fkw)
     if name == "MGHS":
-        return run_modified_ghs(points, radius_const=cfg.ghs_radius_const)
+        return run_modified_ghs(points, radius_const=cfg.ghs_radius_const, **fkw)
     if name == "EOPT":
-        return run_eopt(points, c1=cfg.eopt_c1, c2=cfg.eopt_c2, beta=cfg.eopt_beta)
+        return run_eopt(
+            points, c1=cfg.eopt_c1, c2=cfg.eopt_c2, beta=cfg.eopt_beta, **fkw
+        )
     if name == "Co-NNT":
-        return run_connt(points)
+        return run_connt(points, **fkw)
     if name == "Rand-NNT":
+        if faults is not None and not faults.is_null:
+            raise ExperimentError(
+                "Rand-NNT has no fault-recovery layer; run it without --drop-rate/--crash"
+            )
         return run_randnnt(points)
     raise ExperimentError(f"unknown algorithm label {name!r}")
 

@@ -7,7 +7,9 @@ This implements the paper's model (Sec. II) directly:
   at distance ``d`` costs ``a d^alpha`` energy, a **local broadcast** to
   radius ``R`` costs ``a R^alpha`` and is received by every node within
   ``R`` (the radio/wireless local-broadcast feature);
-* there are no collisions (each message succeeds in one attempt);
+* there are no collisions (each message succeeds in one attempt) unless a
+  seeded :class:`~repro.sim.faults.FaultPlan` injects message loss,
+  duplication, or node crash windows at delivery time;
 * the receiver of a message learns the distance to the sender (the RSSI
   assumption implicit in the modified GHS's per-neighbour distance lists);
 * the **energy complexity** of a run is the sum of per-message energies,
@@ -23,6 +25,7 @@ from repro.sim.power import PathLossModel
 from repro.sim.message import Message
 from repro.sim.energy import EnergyLedger, SimStats
 from repro.sim.node import NodeProcess
+from repro.sim.faults import FaultPlan, FaultPlane, RetryBuffer
 from repro.sim.kernel import SynchronousKernel, Context
 from repro.sim.legacy import LegacyKernel
 
@@ -32,6 +35,9 @@ __all__ = [
     "EnergyLedger",
     "SimStats",
     "NodeProcess",
+    "FaultPlan",
+    "FaultPlane",
+    "RetryBuffer",
     "SynchronousKernel",
     "LegacyKernel",
     "Context",

@@ -32,6 +32,12 @@ class EnergyLedger:
         self.rx_energy_total: float = 0.0
         self.receptions_total: int = 0
         self.rx_energy_by_node = np.zeros(n_nodes)
+        # Fault-plane outcomes (repro.sim.faults).  A dropped delivery
+        # keeps its TX charge — the sender still paid — so these count
+        # *deliveries that never happened*, per message kind.
+        self.drops_by_kind: dict[str, int] = defaultdict(int)
+        self.dup_deliveries_by_kind: dict[str, int] = defaultdict(int)
+        self.crash_drops_by_kind: dict[str, int] = defaultdict(int)
 
     def charge(self, node: int, kind: str, stage: str, energy: float) -> None:
         """Record one transmitted message by ``node`` costing ``energy``."""
@@ -63,6 +69,9 @@ class EnergyLedger:
             rx_energy_total=self.rx_energy_total,
             receptions_total=self.receptions_total,
             rx_energy_by_node=self.rx_energy_by_node.copy(),
+            drops_by_kind=dict(self.drops_by_kind),
+            dup_deliveries_by_kind=dict(self.dup_deliveries_by_kind),
+            crash_drops_by_kind=dict(self.crash_drops_by_kind),
         )
 
 
@@ -85,7 +94,16 @@ class SimStats:
     energy_by_node: np.ndarray = field(repr=False)
     rx_energy_total: float = 0.0
     receptions_total: int = 0
-    rx_energy_by_node: np.ndarray = field(default=None, repr=False)
+    # An empty array, never None: hand-constructed or deserialized stats
+    # must survive aggregation and ``.copy()`` without a guard at every
+    # call site (regression: this used to default to None).
+    rx_energy_by_node: np.ndarray = field(
+        default_factory=lambda: np.zeros(0), repr=False
+    )
+    # Fault-plane delivery outcomes (empty when faults are off).
+    drops_by_kind: dict[str, int] = field(default_factory=dict)
+    dup_deliveries_by_kind: dict[str, int] = field(default_factory=dict)
+    crash_drops_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_energy_with_rx(self) -> float:
@@ -98,6 +116,38 @@ class SimStats:
         if len(self.energy_by_node) == 0:
             return 0.0
         return float(self.energy_by_node.max())
+
+    @property
+    def dropped_total(self) -> int:
+        """Deliveries lost to the fault plane (loss draws only)."""
+        return sum(self.drops_by_kind.values())
+
+    @property
+    def crash_dropped_total(self) -> int:
+        """Deliveries lost because the recipient was crashed."""
+        return sum(self.crash_drops_by_kind.values())
+
+    @property
+    def dup_delivered_total(self) -> int:
+        """Deliveries duplicated by the fault plane."""
+        return sum(self.dup_deliveries_by_kind.values())
+
+    def fault_table(self) -> list[tuple[str, int, int, int]]:
+        """``(kind, drops, crash drops, dups)`` rows, sorted by kind."""
+        kinds = (
+            set(self.drops_by_kind)
+            | set(self.crash_drops_by_kind)
+            | set(self.dup_deliveries_by_kind)
+        )
+        return [
+            (
+                k,
+                self.drops_by_kind.get(k, 0),
+                self.crash_drops_by_kind.get(k, 0),
+                self.dup_deliveries_by_kind.get(k, 0),
+            )
+            for k in sorted(kinds)
+        ]
 
     def kind_table(self) -> list[tuple[str, int, float]]:
         """``(kind, messages, energy)`` rows sorted by descending energy."""

