@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify perf-smoke bench bench-planes chaos golden-regen
+.PHONY: verify perf-smoke bench bench-planes chaos trace-smoke golden-regen
 
 # Tier 1: the full unit/property suite (must stay green).
 verify:
@@ -30,6 +30,12 @@ bench-planes:
 chaos:
 	$(PY) -m pytest tests/test_chaos.py tests/test_faults.py -x -q
 	$(PY) benchmarks/bench_faults.py --quick
+
+# Trace-plane smoke: record a small MGHS trace, JSONL round-trip it,
+# self-diff against a legacy-kernel run, and re-check the
+# zero-cost-when-off contract.  See docs/observability.md.
+trace-smoke:
+	$(PY) benchmarks/bench_trace_smoke.py
 
 # Rebuild the golden stats snapshots deliberately (full configs).  The
 # goldens gate the benchmarks above; never hand-edit the JSON — rerun

@@ -68,6 +68,26 @@ def _run_once(alg: str, pts, kernel_cls=None):
     return res, time.perf_counter() - t0
 
 
+def _trace_triage(alg: str, n: int, seed: int) -> str:
+    """Re-run both kernels with tracing on and report the first divergent
+    trace event — names the phase/round where the kernels parted ways."""
+    from repro.trace import trace
+    from repro.trace.diff import diff_traces, format_divergence
+
+    pts = uniform_points(n, seed=seed)
+    streams = []
+    for kernel_cls in (LegacyKernel, None):
+        trace.reset()
+        trace.enable()
+        try:
+            _run_once(alg, pts, kernel_cls)
+            streams.append(trace.snapshot())
+        finally:
+            trace.disable()
+            trace.reset()
+    return format_divergence(diff_traces(*streams), "legacy", "fast")
+
+
 def bench_config(alg: str, n: int, seed: int, reps: int) -> dict:
     pts = uniform_points(n, seed=seed)
     # Warm both paths (KD-tree build, allocator, branch predictors).
@@ -115,7 +135,8 @@ def main(argv=None) -> int:
         if row["stats"] != row["legacy_stats"]:
             failures.append(
                 f"{alg} n={n} seed={seed}: fast kernel diverged from legacy: "
-                f"{row['stats']} != {row['legacy_stats']}"
+                f"{row['stats']} != {row['legacy_stats']}\n"
+                + _trace_triage(alg, n, seed)
             )
         rows.append(row)
         print(

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Trace-plane smoke gate: record, export, round-trip and self-diff.
+
+Runs a small modified-GHS instance with tracing on, then checks the
+machinery end to end, each failure fatal:
+
+* the event stream is non-empty, well-bracketed (``run_start`` first,
+  ``run_end`` last, at least one ``phase_end``) — exit 2 otherwise;
+* the JSONL export round-trips to the exact in-memory events and a
+  legacy-kernel run of the same instance self-diffs clean
+  (``diff_files`` → no divergence) — exit 2 otherwise;
+* with tracing **disabled**, a repeat run leaves the registry empty and
+  the headline stats bit-identical to the traced run — the
+  zero-cost-when-off contract — exit 2 otherwise.
+
+Usage::
+
+    python benchmarks/bench_trace_smoke.py          # make trace-smoke
+
+Not a pytest file on purpose: the make target calls it directly so the
+exit code gates CI, mirroring the other ``bench_*`` gates.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.algorithms.ghs import run_modified_ghs  # noqa: E402
+from repro.geometry.points import uniform_points  # noqa: E402
+from repro.sim.legacy import LegacyKernel  # noqa: E402
+from repro.trace import load_jsonl, trace  # noqa: E402
+from repro.trace.diff import diff_files, format_divergence  # noqa: E402
+
+N, SEED = 400, 7
+
+
+def _traced_run(pts, **kwargs):
+    trace.reset()
+    trace.enable()
+    try:
+        res = run_modified_ghs(pts, **kwargs)
+        return res, trace.snapshot()
+    finally:
+        trace.disable()
+        trace.reset()
+
+
+def main() -> int:
+    pts = uniform_points(N, seed=SEED)
+    res, events = _traced_run(pts)
+    fast_path = Path(tempfile.mkstemp(suffix=".jsonl")[1])
+    legacy_path = Path(tempfile.mkstemp(suffix=".jsonl")[1])
+    try:
+        # -- stream shape ----------------------------------------------------
+        if not events:
+            print("FATAL: traced run recorded no events", file=sys.stderr)
+            return 2
+        kinds = [e["ev"] for e in events]
+        if (
+            kinds[0] != "run_start"
+            or kinds[-1] != "run_end"
+            or "phase_end" not in kinds
+        ):
+            print(
+                f"FATAL: malformed stream (first={kinds[0]}, last={kinds[-1]}, "
+                f"phase_end={'phase_end' in kinds})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"traced MGHS n={N} seed={SEED}: {len(events)} events")
+
+        # -- JSONL round trip ------------------------------------------------
+        trace.merge(events)
+        trace.export_jsonl(fast_path)
+        trace.reset()
+        if load_jsonl(fast_path) != events:
+            print("FATAL: JSONL round trip is not exact", file=sys.stderr)
+            return 2
+        print(f"JSONL round trip exact ({fast_path.stat().st_size} bytes)")
+
+        # -- legacy-kernel self-diff -----------------------------------------
+        _, legacy_events = _traced_run(pts, kernel_cls=LegacyKernel)
+        trace.merge(legacy_events)
+        trace.export_jsonl(legacy_path)
+        trace.reset()
+        d = diff_files(fast_path, legacy_path)
+        if d is not None:
+            print("FATAL: legacy/fast trace divergence", file=sys.stderr)
+            print(format_divergence(d, "fast", "legacy"), file=sys.stderr)
+            return 2
+        print("legacy vs fast kernel: traces identical")
+
+        # -- zero-cost-when-off contract -------------------------------------
+        quiet = run_modified_ghs(pts)
+        if trace.events or trace.enabled:
+            print("FATAL: disabled registry accumulated state", file=sys.stderr)
+            return 2
+        if (
+            quiet.stats.energy_total != res.stats.energy_total
+            or quiet.stats.messages_total != res.stats.messages_total
+            or quiet.stats.rounds != res.stats.rounds
+        ):
+            print(
+                "FATAL: tracing perturbed the run: "
+                f"({quiet.stats.energy_total}, {quiet.stats.messages_total}, "
+                f"{quiet.stats.rounds}) != ({res.stats.energy_total}, "
+                f"{res.stats.messages_total}, {res.stats.rounds})",
+                file=sys.stderr,
+            )
+            return 2
+        print("tracing off: registry empty, stats bit-identical")
+        return 0
+    finally:
+        fast_path.unlink(missing_ok=True)
+        legacy_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

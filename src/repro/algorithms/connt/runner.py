@@ -19,6 +19,7 @@ from repro.errors import ProtocolError
 from repro.sim.faults import FaultPlan, drain_reliable
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
+from repro.trace import trace
 
 
 def run_connt(
@@ -67,6 +68,8 @@ def run_connt(
     kernel.start()
     nodes = kernel.nodes
     fp = kernel.faults
+    if trace.enabled:
+        trace.emit("run_start", alg="Co-NNT", n=n)
 
     max_phase = int(math.ceil(math.log2(2.0 * max(n, 2)))) + 1
     phase = 0
@@ -110,6 +113,13 @@ def run_connt(
         # A node that slept through earlier wakes (crash window) resumes
         # at its own next radius, so probes stay a doubling sequence
         # per node even when the global phase counter has moved on.
+        if trace.enabled:
+            trace.emit(
+                "probe_phase",
+                phase=phase,
+                round=kernel.rounds,
+                searching=len(alive),
+            )
         groups: dict[int, list[int]] = {}
         for i in alive:
             groups.setdefault(min(nodes[i]._phase + 1, phase), []).append(i)
@@ -132,6 +142,14 @@ def run_connt(
 
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in nodes)
     unconnected = [nd.id for nd in nodes if nd.connected_to is None]
+    if trace.enabled:
+        trace.emit(
+            "run_end",
+            alg="Co-NNT",
+            round=kernel.rounds,
+            phases=phase,
+            unconnected=len(unconnected),
+        )
     return AlgorithmResult(
         name="Co-NNT",
         n=n,
@@ -186,6 +204,10 @@ def _reprobe_stranded(kernel, nodes, max_phase: int) -> None:
                 )
             kernel.tick()
             continue
+        if trace.enabled:
+            trace.emit(
+                "reprobe", round=rnd, attempt=attempt, nodes=len(alive)
+            )
         for i in alive:
             nodes[i].done = False
         # A phase index beyond max_phase caps the radius at sqrt(2):

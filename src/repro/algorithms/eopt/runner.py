@@ -38,6 +38,7 @@ from repro.algorithms.base import AlgorithmResult, collect_tree_edges
 from repro.algorithms.ghs.driver import (
     GHSRecovery,
     active_leaders,
+    fragment_histogram,
     hello_round,
     run_ghs_phases,
 )
@@ -53,6 +54,7 @@ from repro.perf import perf
 from repro.sim.faults import FaultPlan
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
+from repro.trace import trace
 
 
 def giant_size_threshold(n: int, beta: float = 1.0) -> float:
@@ -129,6 +131,8 @@ def run_eopt(
         else None
     )
     fp = kernel.faults
+    if trace.enabled:
+        trace.emit("run_start", alg="EOPT", n=n, r1=r1, r2=r2)
 
     # ---- Step 1: modified GHS at the giant-component radius -----------------
     kernel.set_stage("step1:hello")
@@ -202,6 +206,19 @@ def run_eopt(
                     )
             kernel.wake([g.id], "declare_giant")
             recovery.settle()
+    if trace.enabled:
+        # The Thm 5.2 observable: after step 1 the size histogram must
+        # show one giant entry above the threshold and small ones below.
+        fragments, sizes = fragment_histogram(nodes)
+        trace.emit(
+            "census",
+            round=kernel.rounds,
+            threshold=threshold,
+            fragments=fragments,
+            sizes=sizes,
+            giant_size=giant_size,
+            demoted=demoted,
+        )
 
     # ---- Step 2: raise power, rediscover, resume over small fragments -------
     kernel.set_max_radius(r2)
@@ -250,6 +267,14 @@ def run_eopt(
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in nodes)
     stats = kernel.stats()
     fragments = {nd.fid for nd in nodes}
+    if trace.enabled:
+        trace.emit(
+            "run_end",
+            alg="EOPT",
+            round=kernel.rounds,
+            phases=phases1 + phases2,
+            fragments=len(fragments),
+        )
     step1_energy = sum(
         e for s, e in stats.energy_by_stage.items() if s.startswith("step1")
     )

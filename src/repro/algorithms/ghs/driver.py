@@ -36,6 +36,7 @@ wrong tree.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Sequence
 
 import numpy as np
@@ -44,11 +45,25 @@ from repro.errors import ProtocolError
 from repro.algorithms.ghs.node import GHSNode
 from repro.algorithms.ghs.plane import FloodCache
 from repro.sim.kernel import SynchronousKernel
+from repro.trace import trace
 
 
 def active_leaders(nodes: Sequence[GHSNode]) -> list[int]:
     """Ids of leaders of fragments that still participate in phases."""
     return [nd.id for nd in nodes if nd.leader and not nd.halted and not nd.passive]
+
+
+def fragment_histogram(nodes: Sequence[GHSNode]) -> tuple[int, list[list[int]]]:
+    """``(fragment count, [[size, fragments of that size], ...])``.
+
+    The size histogram is sorted ascending by size — the per-phase series
+    the paper's Thm 5.2 argument reasons about (after EOPT's step 1 it
+    must show one giant entry plus only small ones).  Lists, not tuples,
+    so a recorded event is bit-equal to its own JSONL round trip.
+    """
+    by_fid = Counter(nd.fid for nd in nodes)
+    sizes = Counter(by_fid.values())
+    return len(by_fid), [[s, c] for s, c in sorted(sizes.items())]
 
 
 class GHSRecovery:
@@ -216,6 +231,8 @@ class GHSRecovery:
                 if holders:
                     alive = [i for i in holders if not fp.crashed(i, rnd)]
                     if alive:
+                        if trace.enabled:
+                            trace.emit("retry", round=rnd, nodes=len(alive))
                         kernel.wake(alive, "retry_tick")
                         if not kernel.in_flight:
                             kernel.tick()  # backoff armed: let a round pass
@@ -224,6 +241,8 @@ class GHSRecovery:
                     continue
                 ready, blocked = self._stale_floods(rnd)
                 if ready:
+                    if trace.enabled:
+                        trace.emit("rehello", round=rnd, nodes=len(ready))
                     kernel.wake(ready, "rehello")
                     if not kernel.in_flight:
                         blocked = True  # crashed between check and wake
@@ -235,6 +254,10 @@ class GHSRecovery:
                 if phase is not None:
                     todo, waiting = self._unsearched(phase, rnd)
                     if todo:
+                        if trace.enabled:
+                            trace.emit(
+                                "rewake", round=rnd, phase=phase, nodes=len(todo)
+                            )
                         kernel.wake(todo, "find_moe", (phase,))
                         continue
                     if waiting:
@@ -246,6 +269,8 @@ class GHSRecovery:
                     f"fault recovery did not settle in {self.max_iters} "
                     "iterations (permanently crashed peer mid-protocol?)"
                 )
+            if trace.enabled:
+                trace.emit("settle", round=kernel.rounds)
         if self.audit_every:
             from repro.algorithms.ghs.audit import audit_recovery
 
@@ -329,6 +354,13 @@ def run_ghs_phases(
                 f"GHS did not terminate within {max_phases} phases "
                 f"({len(leaders)} active fragments remain)"
             )
+        if trace.enabled:
+            trace.emit(
+                "phase_start",
+                phase=phase,
+                round=kernel.rounds,
+                active=len(leaders),
+            )
         kernel.wake(leaders, "initiate", (phase,))
         if recovery is not None:
             recovery.settle()
@@ -369,6 +401,15 @@ def run_ghs_phases(
             recovery.settle(phase=phase)
         else:
             kernel.run_until_quiescent()
+        if trace.enabled:
+            fragments, sizes = fragment_histogram(nodes)
+            trace.emit(
+                "phase_end",
+                phase=phase,
+                round=kernel.rounds,
+                fragments=fragments,
+                sizes=sizes,
+            )
 
 
 def hello_round(
@@ -395,6 +436,11 @@ def hello_round(
     nodes = kernel.nodes
     fp = kernel.faults
     r = float(radius)
+    # No plane/cache-mode field here: whether the flood plane engages
+    # depends on the kernel flavor, and equivalent legacy/fast runs must
+    # emit identical traces.
+    if trace.enabled:
+        trace.emit("hello", round=kernel.rounds, radius=r)
     cache = None
     if planes and nodes and all(isinstance(nd, GHSNode) for nd in nodes):
         cache = FloodCache.ensure(kernel)

@@ -15,6 +15,7 @@ from repro.algorithms.ghs.node import GHSNode
 from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
 from repro.perf import perf
 from repro.sim.faults import FaultPlan
+from repro.trace import trace
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -57,6 +58,8 @@ def _run_family(
         else None
     )
     kernel.start()
+    if trace.enabled:
+        trace.emit("run_start", alg=name, n=n, radius=r)
     kernel.set_stage("hello")
     with perf.timed(f"{name.lower()}.hello"):
         hello_round(kernel, r, planes=planes, recovery=recovery)
@@ -66,6 +69,14 @@ def _run_family(
     edges = collect_tree_edges((nd.id, nd.tree_edges) for nd in kernel.nodes)
     stats = kernel.stats()
     fragments = {nd.fid for nd in kernel.nodes}
+    if trace.enabled:
+        trace.emit(
+            "run_end",
+            alg=name,
+            round=kernel.rounds,
+            phases=phases,
+            fragments=len(fragments),
+        )
     return AlgorithmResult(
         name=name,
         n=n,

@@ -68,11 +68,22 @@ def _cmd_run(args) -> int:
         print(format_table(["stage", "messages", "energy"], rows))
     if faults is not None:
         print("\nfault plane:")
-        rows = [
-            (k, d, c, u) for k, d, c, u in res.stats.fault_table()
-        ]
-        print(format_table(["kind", "dropped", "crash-dropped", "dup"], rows))
+        rows = res.stats.fault_table()
+        if rows:
+            print(
+                format_table(["kind", "dropped", "crash-dropped", "dup"], rows)
+            )
+        else:
+            print("(no deliveries dropped, duplicated or crash-dropped)")
     return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.trace.diff import diff_files, format_divergence
+
+    d = diff_files(args.left, args.right, context=args.context)
+    print(format_divergence(d, args.left, args.right))
+    return 1 if d is not None else 0
 
 
 def _cmd_fig3a(args) -> int:
@@ -225,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--perf", action="store_true", help=perf_help)
     run.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="record a repro.trace event stream, write it here as JSONL "
+        "and print the per-phase summary",
+    )
+    run.add_argument(
         "--drop-rate",
         type=float,
         default=0.0,
@@ -295,6 +312,20 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--seed", type=int, default=0)
     lb.set_defaults(func=_cmd_lb)
 
+    td = sub.add_parser(
+        "trace-diff",
+        help="report the first divergent event between two trace JSONL files",
+    )
+    td.add_argument("left")
+    td.add_argument("right")
+    td.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        help="agreed-upon events to print before the divergence",
+    )
+    td.set_defaults(func=_cmd_trace_diff)
+
     rd = sub.add_parser("render", help="SVG of an instance with MST + NNT")
     rd.add_argument("-n", type=int, default=300)
     rd.add_argument("--seed", type=int, default=0)
@@ -307,19 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if getattr(args, "perf", False):
+    want_perf = getattr(args, "perf", False)
+    trace_out = getattr(args, "trace", None)
+    if not want_perf and trace_out is None:
+        return args.func(args)
+    # Reset at the run boundary: repeated in-process invocations (tests,
+    # notebooks) must not accumulate a previous run's numbers.
+    if want_perf:
         from repro.perf import perf
 
         perf.reset()
         perf.enable()
-        try:
-            rc = args.func(args)
-        finally:
+    if trace_out is not None:
+        from repro.trace import trace
+
+        trace.reset()
+        trace.enable()
+    try:
+        rc = args.func(args)
+    finally:
+        if want_perf:
             perf.disable()
+        if trace_out is not None:
+            trace.disable()
+    if trace_out is not None:
+        from repro.experiments.report import format_phase_summary
+
+        path = trace.export_jsonl(trace_out)
+        print(f"\ntrace: {len(trace.events)} events -> {path}")
+        print(format_phase_summary(trace.events))
+    if want_perf:
         print("\nperf report:")
         print(perf.report())
-        return rc
-    return args.func(args)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,6 +37,8 @@ from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.experiments.instances import get_points
 from repro.experiments.runner import EnergySweep, run_algorithm
+from repro.perf import perf
+from repro.trace import trace
 
 
 #: The module-level pool reused across sweeps (lazily created).
@@ -71,15 +73,40 @@ atexit.register(shutdown)
 
 
 def _run_cell(task: tuple) -> tuple:
-    """Worker: one (algorithm, n, seed) cell -> (key, energy, messages, rounds).
+    """Worker: one (algorithm, n, seed) cell -> (key, energy, messages,
+    rounds, perf snapshot, trace snapshot).
 
-    Module-level so it pickles under the spawn start method.
+    Module-level so it pickles under the spawn start method.  The parent
+    can't flip the workers' process-global perf/trace registries (the
+    pool is pre-spawned and reused), so whether instrumentation is wanted
+    travels in the task; the worker records into a registry reset at the
+    task boundary — pool reuse must not leak one cell's numbers into the
+    next — and ships the per-cell snapshot back for the parent to merge.
+    Snapshots are ``None`` when instrumentation is off, keeping the
+    fast path's IPC payload unchanged.
     """
-    alg, n, seed, cfg_tuple = task
+    alg, n, seed, cfg_tuple, want_perf, want_trace = task
     cfg = SweepConfig(*cfg_tuple)
     pts = get_points(n, seed)
-    res = run_algorithm(alg, pts, cfg)
-    return (alg, n, seed), res.energy, res.messages, res.rounds
+    psnap = tsnap = None
+    if want_perf:
+        perf.reset()
+        perf.enable()
+    if want_trace:
+        trace.reset()
+        trace.enable()
+    try:
+        res = run_algorithm(alg, pts, cfg)
+    finally:
+        if want_perf:
+            psnap = perf.snapshot()
+            perf.disable()
+            perf.reset()
+        if want_trace:
+            tsnap = trace.snapshot()
+            trace.disable()
+            trace.reset()
+    return (alg, n, seed), res.energy, res.messages, res.rounds, psnap, tsnap
 
 
 def _chunksize(n_tasks: int, workers: int, per_chunk: int) -> int:
@@ -128,8 +155,12 @@ def sweep_energy_parallel(
     )
     # Cell-major ordering: all algorithms of one (n, seed) cell are
     # adjacent, so a cell's chunk shares one cached instance build.
+    # The parent's instrumentation switches are captured here, once: the
+    # pre-spawned workers never see this process's registries.
+    want_perf = perf.enabled
+    want_trace = trace.enabled
     tasks = [
-        (alg, n, seed, cfg_tuple)
+        (alg, n, seed, cfg_tuple, want_perf, want_trace)
         for n in cfg.ns
         for seed in cfg.seeds
         for alg in cfg.algorithms
@@ -145,11 +176,19 @@ def sweep_energy_parallel(
     chunksize = _chunksize(len(tasks), workers, len(cfg.algorithms))
     pool = _executor(workers)
     try:
-        for (alg, n, seed), e, m, r in pool.map(_run_cell, tasks, chunksize=chunksize):
+        for (alg, n, seed), e, m, r, psnap, tsnap in pool.map(
+            _run_cell, tasks, chunksize=chunksize
+        ):
             i, j = n_index[n], s_index[seed]
             energy[alg][i, j] = e
             messages[alg][i, j] = m
             rounds[alg][i, j] = r
+            # pool.map yields in task order, so merged traces interleave
+            # cells exactly as the serial sweep would run them.
+            if psnap is not None:
+                perf.merge(psnap)
+            if tsnap is not None:
+                trace.merge(tsnap, source=f"{alg}:n{n}:s{seed}")
     except BaseException:
         # A worker crash (BrokenProcessPool) or interrupt may leave the
         # shared pool unusable; drop it so the next sweep starts clean.

@@ -48,3 +48,70 @@ def format_table(
     sep = "  ".join("-" * w for w in widths)
     body = ["  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in str_rows]
     return "\n".join([head, sep, *body])
+
+
+#: Headers paired with :func:`phase_summary_rows`.
+PHASE_SUMMARY_HEADERS = (
+    "phase", "rounds", "messages", "energy", "fragments", "largest"
+)
+
+
+def phase_summary_rows(events: Sequence[dict]) -> list[tuple]:
+    """Aggregate a trace into per-phase rows.
+
+    Each GHS-family phase (one ``phase_start``/``phase_end`` bracket)
+    becomes ``(phase, rounds, messages, energy, fragments, largest
+    fragment size)``, with round-event message/energy deltas summed over
+    the bracket.  The pre-phase segment (HELLO discovery, census, …) is
+    reported as phase label ``"-"`` so every traced message is accounted
+    somewhere.  Events from merged multi-run traces keep their ``src``
+    prefix on the phase label.
+    """
+    rows: list[tuple] = []
+    seg_msgs = 0
+    seg_energy = 0.0
+    seg_rounds = 0
+    seg_start_round: int | None = None
+    open_phase: dict | None = None
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "round":
+            seg_msgs += ev.get("dm", 0)
+            seg_energy += ev.get("de", 0.0)
+            seg_rounds += 1
+        elif kind == "phase_start":
+            if seg_msgs or seg_rounds:
+                rows.append(("-", seg_rounds, seg_msgs, seg_energy, "", ""))
+            seg_msgs, seg_energy, seg_rounds = 0, 0.0, 0
+            seg_start_round = ev.get("round")
+            open_phase = ev
+        elif kind == "phase_end":
+            label = str(ev.get("phase", "?"))
+            if "src" in ev:
+                label = f"{ev['src']}:{label}"
+            sizes = ev.get("sizes") or []
+            largest = sizes[-1][0] if sizes else ""
+            span = (
+                ev["round"] - seg_start_round
+                if seg_start_round is not None and "round" in ev
+                else seg_rounds
+            )
+            rows.append(
+                (label, span, seg_msgs, seg_energy,
+                 ev.get("fragments", ""), largest)
+            )
+            seg_msgs, seg_energy, seg_rounds = 0, 0.0, 0
+            seg_start_round = None
+            open_phase = None
+    if seg_msgs or seg_rounds:
+        label = str(open_phase.get("phase", "?")) if open_phase else "-"
+        rows.append((label, seg_rounds, seg_msgs, seg_energy, "", ""))
+    return rows
+
+
+def format_phase_summary(events: Sequence[dict]) -> str:
+    """A per-phase table for one recorded trace (CLI ``run --trace``)."""
+    rows = phase_summary_rows(events)
+    if not rows:
+        return "(trace has no round or phase events)"
+    return format_table(PHASE_SUMMARY_HEADERS, rows)

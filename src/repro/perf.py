@@ -13,8 +13,10 @@ and any ad-hoc profiling session:
 >>> print(perf.report())
 
 The registry is deliberately process-local (no locks): parallel sweep
-workers each accumulate their own numbers, matching the per-worker
-instance caches in :mod:`repro.experiments.parallel`.
+workers each accumulate into their own registry, and
+:mod:`repro.experiments.parallel` ships each worker's :meth:`snapshot`
+back with the results and folds it in with :meth:`PerfRegistry.merge`,
+so ``--perf`` on a parallel sweep reports the whole sweep.
 """
 
 from __future__ import annotations
@@ -107,8 +109,34 @@ class PerfRegistry:
             cell[1] += 1
 
     def add(self, name: str, value: int = 1) -> None:
-        """Bump counter ``name`` by ``value`` (call only when enabled)."""
+        """Bump counter ``name`` by ``value`` (no-op while disabled).
+
+        Call sites still guard with ``if perf.enabled`` for speed; the
+        internal check is a backstop so an unguarded call site cannot
+        leak counts into a disabled registry.
+        """
+        if not self.enabled:
+            return
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from elsewhere (a worker process) into
+        this registry.
+
+        Addition is unconditional — the snapshot was recorded under the
+        worker's own enabled flag, and merging is bookkeeping, not a new
+        measurement.  Merging N disjoint worker snapshots equals having
+        recorded all N workloads in one process.
+        """
+        for name, cell in snapshot.get("timers", {}).items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = [cell["total_s"], cell["calls"]]
+            else:
+                mine[0] += cell["total_s"]
+                mine[1] += cell["calls"]
+        for name, count in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + count
 
     # -- reading ------------------------------------------------------------
 

@@ -133,19 +133,19 @@ class SimStats:
         return sum(self.dup_deliveries_by_kind.values())
 
     def fault_table(self) -> list[tuple[str, int, int, int]]:
-        """``(kind, drops, crash drops, dups)`` rows, sorted by kind."""
-        kinds = (
-            set(self.drops_by_kind)
-            | set(self.crash_drops_by_kind)
-            | set(self.dup_deliveries_by_kind)
-        )
+        """``(kind, drops, crash drops, dups)`` rows, sorted by kind.
+
+        A run with no fault plan (or a null plan, or hand-constructed /
+        deserialized stats whose fault dicts are missing) yields a
+        well-formed *empty* list — never an exception, never rows of
+        zeros.  Callers decide how to render "nothing happened".
+        """
+        drops = self.drops_by_kind or {}
+        crash = self.crash_drops_by_kind or {}
+        dups = self.dup_deliveries_by_kind or {}
+        kinds = set(drops) | set(crash) | set(dups)
         return [
-            (
-                k,
-                self.drops_by_kind.get(k, 0),
-                self.crash_drops_by_kind.get(k, 0),
-                self.dup_deliveries_by_kind.get(k, 0),
-            )
+            (k, drops.get(k, 0), crash.get(k, 0), dups.get(k, 0))
             for k in sorted(kinds)
         ]
 

@@ -45,6 +45,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.errors import ProtocolError, SimulationError
+from repro.trace import trace
 
 __all__ = ["FaultPlan", "FaultPlane", "RetryBuffer", "drain_reliable"]
 
@@ -433,6 +434,8 @@ def drain_reliable(kernel, nodes, *, max_iters: int = 20000) -> None:
             return
         alive = [i for i in holders if not fp.crashed(i, rnd)]
         if alive:
+            if trace.enabled:
+                trace.emit("retry", round=rnd, nodes=len(alive))
             kernel.wake(alive, "retry_tick")
             if not kernel.in_flight:
                 kernel.tick()  # backoff armed: let a round pass

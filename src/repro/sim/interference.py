@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.kernel import SynchronousKernel
+from repro.trace import trace
 
 
 class ContentionKernel(SynchronousKernel):
@@ -136,6 +137,8 @@ class ContentionKernel(SynchronousKernel):
                     ledger.charge_rx(dst, rx)
                 nodes[dst].on_message(msg, dist)
             self.rounds += 1
+            if trace.enabled:
+                self._trace_round()
         return len(deliveries)
 
     @staticmethod

@@ -85,6 +85,7 @@ from scipy.spatial import cKDTree
 
 from repro.errors import GeometryError, PowerLimitError, SimulationError
 from repro.perf import perf
+from repro.trace import trace
 from repro.sim.energy import EnergyLedger, SimStats
 from repro.sim.faults import FaultPlan, FaultPlane
 from repro.sim.message import Message
@@ -108,6 +109,16 @@ _NO_TABLE = object()
 
 #: Sort key for unicast-only rounds (stable sort by recipient id).
 _BY_DST = operator.itemgetter(0)
+
+
+def _dict_delta(cur: dict, prev: dict) -> dict:
+    """Nonzero per-key differences ``cur - prev`` (trace round events)."""
+    out = {}
+    for key, val in cur.items():
+        d = val - prev.get(key, 0)
+        if d:
+            out[key] = d
+    return out
 
 
 def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
@@ -325,6 +336,9 @@ class SynchronousKernel:
         #: plus per-node energy partial sums; flushed by _flush_charges.
         self._acc_kinds: dict[tuple[str, str], list] = {}
         self._acc_node: list[float] = [0.0] * self.n
+        #: Ledger snapshot at the last traced round boundary (None until
+        #: the first traced round); read only when ``trace.enabled``.
+        self._trace_prev: dict | None = None
         self._started = False
 
     # -- setup ----------------------------------------------------------------
@@ -351,10 +365,14 @@ class SynchronousKernel:
             tbl is _NO_TABLE or self.max_radius > tbl.max_radius
         ):
             self._nbr_table = None
+        if trace.enabled:
+            trace.emit("power", round=self.rounds, radius=self.max_radius)
 
     def set_stage(self, label: str) -> None:
         """Tag subsequent charges with ``label`` in the per-stage breakdown."""
         self.stage = label
+        if trace.enabled:
+            trace.emit("stage", round=self.rounds, stage=label)
 
     # -- neighbor table --------------------------------------------------------
 
@@ -651,6 +669,49 @@ class SynchronousKernel:
         led.energy_by_node += self._acc_node
         self._acc_node = [0.0] * self.n
 
+    def _trace_round(self) -> None:
+        """Emit one per-round trace event (deltas since the last round).
+
+        Runs once per round, only while tracing is enabled.  Every field
+        is invariant across delivery paths: per-kind message counts are
+        exact integers, ``de`` is a difference of the *exact* running
+        ``energy_total`` (bit-identical legacy/fast/planes), and fault
+        tallies come from path-independent fate hashes.  Per-kind energy
+        *breakdowns* are deliberately absent — they are batched float
+        sums that may differ in the last ulp between kernels and would
+        make equivalent runs diff as divergent.
+        """
+        self._flush_charges()
+        led = self._ledger
+        prev = self._trace_prev
+        if prev is None:
+            prev = {"m": 0, "e": 0.0, "kinds": {}, "drop": {}, "dup": {}, "crash": {}}
+        fields = {
+            "round": self.rounds,
+            "dm": led.messages_total - prev["m"],
+            "de": led.energy_total - prev["e"],
+            "kinds": _dict_delta(led.messages_by_kind, prev["kinds"]),
+        }
+        # Fault outcomes appear only when they happened this round, so a
+        # fault-free run's trace carries no fault fields at all.
+        for field, tally in (
+            ("drop", led.drops_by_kind),
+            ("dup", led.dup_deliveries_by_kind),
+            ("crash", led.crash_drops_by_kind),
+        ):
+            delta = _dict_delta(tally, prev[field])
+            if delta:
+                fields[field] = delta
+        trace.emit("round", **fields)
+        self._trace_prev = {
+            "m": led.messages_total,
+            "e": led.energy_total,
+            "kinds": dict(led.messages_by_kind),
+            "drop": dict(led.drops_by_kind),
+            "dup": dict(led.dup_deliveries_by_kind),
+            "crash": dict(led.crash_drops_by_kind),
+        }
+
     # -- sending (called through Context) --------------------------------------
 
     def _check_power(self, src: int, radius: float) -> None:
@@ -776,6 +837,8 @@ class SynchronousKernel:
             self.step()
         else:
             self.rounds += 1
+            if trace.enabled:
+                self._trace_round()
 
     def step(self) -> int:
         """Deliver one round of messages; returns the number delivered.
@@ -807,6 +870,8 @@ class SynchronousKernel:
             if perf.enabled:
                 perf.add("kernel.rounds")
                 perf.add("kernel.deliveries", delivered)
+            if trace.enabled:
+                self._trace_round()
             return delivered
         nodes = self.nodes
         rx = self.rx_cost
@@ -897,6 +962,8 @@ class SynchronousKernel:
         if perf.enabled:
             perf.add("kernel.rounds")
             perf.add("kernel.deliveries", delivered)
+        if trace.enabled:
+            self._trace_round()
         return delivered
 
     def _apply_faults_list(self, deliveries: list) -> list:
@@ -941,6 +1008,8 @@ class SynchronousKernel:
                 led.charge_rx(dst, rx)
             nodes[dst].on_message(msg, dist)
         self.rounds += 1
+        if trace.enabled:
+            self._trace_round()
         return len(deliveries)
 
     def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:

@@ -118,3 +118,44 @@ class TestFaultFlags:
     def test_run_without_fault_flags_prints_no_fault_table(self, capsys):
         assert main(["run", "MGHS", "-n", "120"]) == 0
         assert "fault plane:" not in capsys.readouterr().out
+
+    def test_zero_rate_plan_prints_empty_table_message(self, capsys):
+        """Satellite regression: a fault plan that drops nothing used to
+        print a bare header row — misleading zeros-with-headers.  An
+        explicit "(no deliveries ...)" line replaces it."""
+        assert (
+            main(["run", "MGHS", "-n", "100", "--crash", "0:100000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault plane:" in out
+        assert "(no deliveries dropped, duplicated or crash-dropped)" in out
+        assert "crash-dropped\n" not in out  # no orphaned header row
+
+
+class TestTraceFlags:
+    def test_run_trace_writes_jsonl_and_prints_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        assert main(["run", "MGHS", "-n", "120", "--trace", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "events" in out
+        assert "phase" in out and "fragments" in out
+        from repro.trace import load_jsonl, trace
+
+        events = load_jsonl(out_path)
+        assert events and events[0]["ev"] == "run_start"
+        # The flag must not leave the global registry switched on or full.
+        assert not trace.enabled
+
+    def test_trace_diff_identical_and_divergent(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(["run", "MGHS", "-n", "100", "--trace", str(a)]) == 0
+        assert main(["run", "MGHS", "-n", "100", "--trace", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["trace-diff", str(a), str(b)]) == 0
+        assert "traces identical" in capsys.readouterr().out
+        assert main(["run", "MGHS", "-n", "100", "--seed", "1",
+                     "--trace", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["trace-diff", str(a), str(b)]) == 1
+        assert "diverge at event" in capsys.readouterr().out

@@ -84,6 +84,33 @@ def test_algorithms_bit_identical(runner, n, seed):
     assert new.stats.energy_by_stage == off.stats.energy_by_stage
 
 
+def test_trace_streams_identical_with_triage_on_failure():
+    """The trace plane doubles as the equivalence suite's triage tool:
+    run legacy and fast kernels with tracing on and diff the event
+    streams.  On divergence the assertion message carries the first
+    divergent event with context — the exact phase/round where the
+    kernels parted ways — instead of a bare stats mismatch."""
+    from repro.trace import trace
+    from repro.trace.diff import diff_traces, format_divergence
+
+    pts = uniform_points(300, seed=0)
+
+    def traced(**kwargs):
+        trace.reset()
+        trace.enable()
+        try:
+            run_modified_ghs(pts, **kwargs)
+            return trace.snapshot()
+        finally:
+            trace.disable()
+            trace.reset()
+
+    legacy = traced(kernel_cls=LegacyKernel)
+    fast = traced()
+    d = diff_traces(legacy, fast)
+    assert d is None, format_divergence(d, "legacy", "fast")
+
+
 def test_rx_cost_bit_identical():
     pts = uniform_points(250, seed=4)
     old = run_modified_ghs(pts, rx_cost=0.01, kernel_cls=LegacyKernel)

@@ -73,6 +73,68 @@ class TestPoolReuse:
         shutdown()
 
 
+class TestWorkerInstrumentation:
+    """Satellite regression: perf/trace recorded inside pool workers used
+    to die with the worker's process-global registries — ``--perf`` on a
+    parallel sweep under-reported to near zero.  Worker snapshots now
+    ship back with the results and merge into the parent registries."""
+
+    CFG = SweepConfig(ns=(50,), seeds=(0, 1), algorithms=("EOPT", "Co-NNT"))
+
+    def _sweep_counters(self, sweep_fn, **kwargs):
+        from repro.perf import perf
+
+        perf.reset()
+        perf.enable()
+        try:
+            sweep_fn(self.CFG, **kwargs)
+            snap = perf.snapshot()
+        finally:
+            perf.disable()
+            perf.reset()
+        return snap
+
+    def test_parallel_perf_matches_serial(self):
+        serial = self._sweep_counters(sweep_energy)
+        parallel = self._sweep_counters(sweep_energy_parallel, workers=2)
+        # Deterministic work => identical counters and timer call counts;
+        # timer seconds are wall clock and differ by construction.
+        assert parallel["counters"] == serial["counters"]
+        assert {k: v["calls"] for k, v in parallel["timers"].items()} == {
+            k: v["calls"] for k, v in serial["timers"].items()
+        }
+
+    def test_parallel_trace_ships_back_with_source_stamps(self):
+        from repro.trace import trace
+
+        trace.reset()
+        trace.enable()
+        try:
+            sweep_energy_parallel(self.CFG, workers=2)
+            events = trace.snapshot()
+        finally:
+            trace.disable()
+            trace.reset()
+        starts = [e for e in events if e["ev"] == "run_start"]
+        # One run per (n, seed, algorithm) cell, arriving in task order.
+        assert [e["src"] for e in starts] == [
+            f"{alg}:n{n}:s{seed}"
+            for n in self.CFG.ns
+            for seed in self.CFG.seeds
+            for alg in self.CFG.algorithms
+        ]
+        assert all("src" in e for e in events)
+        assert [e["i"] for e in events] == list(range(len(events)))
+
+    def test_workers_ship_nothing_when_instrumentation_off(self):
+        from repro.perf import perf
+        from repro.trace import trace
+
+        sweep_energy_parallel(self.CFG, workers=2)
+        assert perf.snapshot() == {"timers": {}, "counters": {}}
+        assert trace.events == []
+
+
 class TestAtexitCleanup:
     def test_shutdown_registered_atexit(self):
         """Satellite regression: a sweep-and-exit process must not leak

@@ -74,3 +74,73 @@ def test_kernel_silent_when_disabled():
     kernel.start()
     kernel.run_until_quiescent()
     assert perf.snapshot() == {"timers": {}, "counters": {}}
+
+
+def test_add_is_noop_while_disabled():
+    """Satellite regression: ``add()`` used to trust its callers to guard
+    with ``if perf.enabled`` — an unguarded call site silently leaked
+    counts into a disabled registry.  The internal backstop stops that."""
+    reg = PerfRegistry()
+    reg.add("leak")
+    reg.add("leak", 10)
+    assert reg.counters == {}
+    reg.enable()
+    reg.add("leak", 2)
+    reg.disable()
+    reg.add("leak", 5)  # disabled again: must not accumulate further
+    assert reg.counters == {"leak": 2}
+
+
+def test_disabled_registry_empty_after_full_mghs_run():
+    """End to end: a complete MGHS run (kernel, planes, drivers, runner)
+    with instrumentation off must leave the global registry untouched."""
+    from repro.algorithms.ghs import run_modified_ghs
+
+    run_modified_ghs(uniform_points(150, seed=2))
+    assert perf.snapshot() == {"timers": {}, "counters": {}}
+
+
+def test_back_to_back_runs_report_identical_numbers():
+    """Satellite regression: repeated in-process runs must not accumulate
+    stale registry state — a reset at the run boundary makes the second
+    run's numbers equal the first's (counters and call counts exactly;
+    timer *seconds* are wall clock and excluded)."""
+    from repro.algorithms.ghs import run_modified_ghs
+
+    pts = uniform_points(150, seed=3)
+
+    def one_run():
+        perf.reset()
+        perf.enable()
+        try:
+            run_modified_ghs(pts)
+        finally:
+            snap = perf.snapshot()
+            perf.disable()
+        return snap
+
+    first, second = one_run(), one_run()
+    assert first["counters"] == second["counters"]
+    assert {k: v["calls"] for k, v in first["timers"].items()} == {
+        k: v["calls"] for k, v in second["timers"].items()
+    }
+
+
+def test_merge_folds_snapshots_additively():
+    src = PerfRegistry()
+    src.enable()
+    src.add("events", 3)
+    with src.timed("phase"):
+        pass
+    snap = src.snapshot()
+
+    dst = PerfRegistry()  # merge works regardless of dst's enabled flag
+    dst.merge(snap)
+    assert dst.counters == {"events": 3}
+    assert dst.timers["phase"][1] == 1
+    # snapshot() hands out copies: merging must never mutate the source,
+    # so repeated snapshots stay reproducible.
+    assert src.snapshot() == snap
+    dst.merge(snap)
+    assert dst.counters == {"events": 6}
+    assert dst.timers["phase"][1] == 2
