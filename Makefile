@@ -3,11 +3,16 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify perf-smoke bench bench-planes chaos trace-smoke golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes chaos trace-smoke spec-smoke golden-regen
 
-# Tier 1: the full unit/property suite (must stay green).
-verify:
+# Tier 1: lint gate plus the full unit/property suite (must stay green).
+verify: lint
 	$(PY) -m pytest -x -q
+
+# Lint: ruff (configured in pyproject.toml) when installed, an AST
+# fallback (syntax errors + unused imports) otherwise.
+lint:
+	$(PY) tools/lint.py
 
 # Tier 2: kernel hot-path perf smoke — times the optimized kernel against
 # the frozen legacy kernel and fails loudly if stats diverge from the
@@ -37,9 +42,16 @@ chaos:
 trace-smoke:
 	$(PY) benchmarks/bench_trace_smoke.py
 
+# Runspec smoke: emit specs as JSON, reload, execute through the one
+# engine, JSON round-trip the reports, and diff the headline stats
+# against benchmarks/golden/spec_smoke.json.  See docs/architecture.md.
+spec-smoke:
+	$(PY) benchmarks/bench_spec_smoke.py
+
 # Rebuild the golden stats snapshots deliberately (full configs).  The
 # goldens gate the benchmarks above; never hand-edit the JSON — rerun
 # this after an *intentional* semantics change and review the diff.
 golden-regen:
 	$(PY) benchmarks/bench_kernel_hotpath.py --write-golden
 	$(PY) benchmarks/bench_flood_planes.py --write-golden
+	$(PY) benchmarks/bench_spec_smoke.py --write-golden

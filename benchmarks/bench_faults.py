@@ -35,15 +35,13 @@ REPO = Path(__file__).resolve().parent.parent
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
-from repro.algorithms.eopt import run_eopt  # noqa: E402
-from repro.algorithms.ghs import run_modified_ghs  # noqa: E402
-from repro.experiments.instances import get_points  # noqa: E402
 from repro.mst.quality import same_tree  # noqa: E402
+from repro.runspec import RunSpec, execute  # noqa: E402
 from repro.sim.faults import FaultPlan  # noqa: E402
 
 OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_faults.json"
 
-RUNNERS = {"MGHS": run_modified_ghs, "EOPT": run_eopt}
+ALGORITHMS = ("MGHS", "EOPT")
 DROP_RATES = (0.0, 0.05, 0.1, 0.2)
 FAULT_SEED = 0
 INSTANCE_SEED = 7
@@ -54,13 +52,13 @@ def _fail(msg: str) -> None:
     sys.exit(2)
 
 
-def _record(res, wall: float) -> dict:
-    st = res.stats
+def _record(report, wall: float) -> dict:
+    st = report.result.stats
     return {
         "energy": st.energy_total,
         "messages": int(st.messages_total),
         "rounds": int(st.rounds),
-        "n_tree_edges": int(len(res.tree_edges)),
+        "n_tree_edges": int(len(report.result.tree_edges)),
         "dropped": int(st.dropped_total),
         "dup_delivered": int(st.dup_delivered_total),
         "wall_s": round(wall, 3),
@@ -68,24 +66,24 @@ def _record(res, wall: float) -> dict:
 
 
 def bench(n: int) -> dict:
-    pts = get_points(n, INSTANCE_SEED)
     out: dict = {"n": n, "instance_seed": INSTANCE_SEED, "algorithms": {}}
-    for alg, runner in RUNNERS.items():
+    for alg in ALGORITHMS:
+        base_spec = RunSpec(algorithm=alg, n=n, seed=INSTANCE_SEED)
         t0 = time.perf_counter()
-        base = runner(pts)
+        base = execute(base_spec)
         base_wall = time.perf_counter() - t0
         rows = {"baseline": _record(base, base_wall)}
         for p in DROP_RATES:
-            plan = FaultPlan(seed=FAULT_SEED, drop_rate=p)
+            spec = base_spec.with_(faults=FaultPlan(seed=FAULT_SEED, drop_rate=p))
             t0 = time.perf_counter()
-            res = runner(pts, faults=plan)
+            report = execute(spec)
             wall = time.perf_counter() - t0
-            rec = _record(res, wall)
+            rec = _record(report, wall)
             rec["drop_rate"] = p
             rec["energy_overhead"] = rec["energy"] / rows["baseline"]["energy"]
             rows[f"p={p}"] = rec
 
-            if not same_tree(res.tree_edges, base.tree_edges):
+            if not same_tree(report.result.tree_edges, base.result.tree_edges):
                 _fail(f"{alg} n={n} p={p}: recovered tree != fault-free MST")
             if p == 0.0:
                 for key in ("energy", "messages", "rounds"):

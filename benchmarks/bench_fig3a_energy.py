@@ -9,8 +9,8 @@ units while EOPT pays tens and Co-NNT single digits.
 from __future__ import annotations
 
 from repro.experiments.figures import fig3a_plot, fig3a_rows
-from repro.experiments.runner import run_algorithm
-from repro.geometry.points import uniform_points
+from repro.experiments.instances import get_points
+from repro.runspec import RunSpec, execute
 
 from conftest import write_artifact
 
@@ -18,34 +18,28 @@ from conftest import write_artifact
 BENCH_N = 1000
 
 
-def _bench_points():
-    return uniform_points(BENCH_N, seed=0)
+def _time_algorithm(benchmark, alg: str):
+    """Time one spec-driven simulation (instance pre-warmed out of band)."""
+    get_points(BENCH_N, 0)
+    spec = RunSpec(algorithm=alg, n=BENCH_N, seed=0)
+    report = benchmark.pedantic(execute, args=(spec,), rounds=1, iterations=1)
+    benchmark.extra_info["energy"] = report.energy
+    benchmark.extra_info["messages"] = report.messages
 
 
 def test_time_ghs(benchmark):
     """Wall-clock of one full GHS simulation at n=1000."""
-    pts = _bench_points()
-    res = benchmark.pedantic(run_algorithm, args=("GHS", pts), rounds=1, iterations=1)
-    benchmark.extra_info["energy"] = res.energy
-    benchmark.extra_info["messages"] = res.messages
+    _time_algorithm(benchmark, "GHS")
 
 
 def test_time_eopt(benchmark):
     """Wall-clock of one full EOPT simulation at n=1000."""
-    pts = _bench_points()
-    res = benchmark.pedantic(run_algorithm, args=("EOPT", pts), rounds=1, iterations=1)
-    benchmark.extra_info["energy"] = res.energy
-    benchmark.extra_info["messages"] = res.messages
+    _time_algorithm(benchmark, "EOPT")
 
 
 def test_time_connt(benchmark):
     """Wall-clock of one full Co-NNT simulation at n=1000."""
-    pts = _bench_points()
-    res = benchmark.pedantic(
-        run_algorithm, args=("Co-NNT", pts), rounds=1, iterations=1
-    )
-    benchmark.extra_info["energy"] = res.energy
-    benchmark.extra_info["messages"] = res.messages
+    _time_algorithm(benchmark, "Co-NNT")
 
 
 def test_fig3a_report(benchmark, fig3_sweep):

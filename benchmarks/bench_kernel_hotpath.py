@@ -36,23 +36,18 @@ REPO = Path(__file__).resolve().parent.parent
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
-from repro.algorithms.eopt import run_eopt  # noqa: E402
-from repro.algorithms.ghs import run_modified_ghs  # noqa: E402
-from repro.geometry.points import uniform_points  # noqa: E402
-from repro.perf import perf  # noqa: E402
-from repro.sim.legacy import LegacyKernel  # noqa: E402
+from repro.runspec import RunSpec, execute  # noqa: E402
 
 GOLDEN_PATH = REPO / "benchmarks" / "golden" / "kernel_hotpath.json"
 OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_kernel.json"
-
-RUNNERS = {"MGHS": run_modified_ghs, "EOPT": run_eopt}
 
 #: (algorithm, n, seed) per mode; quick is the tier-2 smoke subset.
 QUICK_CONFIGS = [("MGHS", 600, 7), ("EOPT", 600, 7)]
 FULL_CONFIGS = QUICK_CONFIGS + [("MGHS", 2000, 7), ("EOPT", 2000, 7)]
 
 
-def _stats_record(res) -> dict:
+def _stats_record(report) -> dict:
+    res = report.result
     return {
         "energy_total": res.stats.energy_total,
         "messages_total": int(res.stats.messages_total),
@@ -61,44 +56,35 @@ def _stats_record(res) -> dict:
     }
 
 
-def _run_once(alg: str, pts, kernel_cls=None):
-    kwargs = {"kernel_cls": kernel_cls} if kernel_cls is not None else {}
+def _run_once(alg: str, n: int, seed: int, kernel: str = "fast", **flags):
+    spec = RunSpec(algorithm=alg, n=n, seed=seed, kernel=kernel, **flags)
     t0 = time.perf_counter()
-    res = RUNNERS[alg](pts, **kwargs)
-    return res, time.perf_counter() - t0
+    report = execute(spec)
+    return report, time.perf_counter() - t0
 
 
 def _trace_triage(alg: str, n: int, seed: int) -> str:
     """Re-run both kernels with tracing on and report the first divergent
     trace event — names the phase/round where the kernels parted ways."""
-    from repro.trace import trace
     from repro.trace.diff import diff_traces, format_divergence
 
-    pts = uniform_points(n, seed=seed)
     streams = []
-    for kernel_cls in (LegacyKernel, None):
-        trace.reset()
-        trace.enable()
-        try:
-            _run_once(alg, pts, kernel_cls)
-            streams.append(trace.snapshot())
-        finally:
-            trace.disable()
-            trace.reset()
+    for kernel in ("legacy", "fast"):
+        report, _ = _run_once(alg, n, seed, kernel=kernel, trace=True)
+        streams.append(report.trace)
     return format_divergence(diff_traces(*streams), "legacy", "fast")
 
 
 def bench_config(alg: str, n: int, seed: int, reps: int) -> dict:
-    pts = uniform_points(n, seed=seed)
     # Warm both paths (KD-tree build, allocator, branch predictors).
-    _run_once(alg, pts, LegacyKernel)
-    _run_once(alg, pts)
+    _run_once(alg, n, seed, kernel="legacy")
+    _run_once(alg, n, seed)
     legacy_times, new_times = [], []
     legacy_res = new_res = None
     for _ in range(reps):
-        legacy_res, dt = _run_once(alg, pts, LegacyKernel)
+        legacy_res, dt = _run_once(alg, n, seed, kernel="legacy")
         legacy_times.append(dt)
-        new_res, dt = _run_once(alg, pts)
+        new_res, dt = _run_once(alg, n, seed)
         new_times.append(dt)
     legacy_s, new_s = min(legacy_times), min(new_times)
     return {
@@ -166,13 +152,10 @@ def main(argv=None) -> int:
     else:
         print(f"warning: no golden snapshot at {GOLDEN_PATH}; run --write-golden")
 
-    # One instrumented pass (perf enabled) for the observability record.
-    perf.reset()
-    perf.enable()
+    # One instrumented pass (spec-managed perf) for the observability record.
     alg, n, seed = configs[0]
-    _run_once(alg, uniform_points(n, seed=seed))
-    perf_snapshot = perf.snapshot()
-    perf.disable()
+    report, _ = _run_once(alg, n, seed, perf=True)
+    perf_snapshot = report.perf
 
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(

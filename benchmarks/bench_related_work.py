@@ -15,7 +15,6 @@ the energy ordering, the exactness claims, and the quality ordering.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms.connt import run_connt
 from repro.algorithms.eopt import run_eopt

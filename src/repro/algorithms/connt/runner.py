@@ -16,6 +16,7 @@ import numpy as np
 from repro.algorithms.base import AlgorithmResult, collect_tree_edges
 from repro.algorithms.connt.node import CoNNTNode, diagonal_key
 from repro.errors import ProtocolError
+from repro.runspec.registry import register_algorithm
 from repro.sim.faults import FaultPlan, drain_reliable
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
@@ -222,3 +223,22 @@ def _reprobe_stranded(kernel, nodes, max_phase: int) -> None:
     raise ProtocolError(
         "Co-NNT re-probe did not connect all stranded nodes in 200 attempts"
     )
+
+
+# -- runspec registration -----------------------------------------------------
+
+def _connt_adapter(points, spec):
+    kwargs = {"rx_cost": spec.rx_cost, "recover": spec.recover}
+    if spec.faults is not None:
+        kwargs["faults"] = spec.faults
+    return run_connt(points, **kwargs)
+
+
+register_algorithm(
+    "Co-NNT",
+    runner=run_connt,
+    adapter=_connt_adapter,
+    order=3,
+    summary="coordinate-based NNT - O(1) expected energy, constant-factor tree",
+    supports_kernel_mode=False,
+)

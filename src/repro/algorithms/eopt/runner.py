@@ -51,6 +51,7 @@ from repro.geometry.radius import (
     giant_radius,
 )
 from repro.perf import perf
+from repro.runspec.registry import register_algorithm
 from repro.sim.faults import FaultPlan
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
@@ -301,3 +302,31 @@ def run_eopt(
             "step2_energy": step2_energy,
         },
     )
+
+
+# -- runspec registration -----------------------------------------------------
+
+def _eopt_adapter(points, spec):
+    from repro.runspec.spec import kernel_class
+
+    kwargs = {
+        "c1": spec.eopt_c1,
+        "c2": spec.eopt_c2,
+        "beta": spec.eopt_beta,
+        "rx_cost": spec.rx_cost,
+        "kernel_cls": kernel_class(spec.kernel),
+        "planes": spec.planes,
+        "recover": spec.recover,
+    }
+    if spec.faults is not None:
+        kwargs["faults"] = spec.faults
+    return run_eopt(points, **kwargs)
+
+
+register_algorithm(
+    "EOPT",
+    runner=run_eopt,
+    adapter=_eopt_adapter,
+    order=2,
+    summary="two-step energy-optimal MST - exact MST, O(log n) expected energy",
+)

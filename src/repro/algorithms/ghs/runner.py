@@ -14,6 +14,7 @@ from repro.algorithms.ghs.driver import GHSRecovery, hello_round, run_ghs_phases
 from repro.algorithms.ghs.node import GHSNode
 from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
 from repro.perf import perf
+from repro.runspec.registry import register_algorithm
 from repro.sim.faults import FaultPlan
 from repro.trace import trace
 from repro.sim.kernel import SynchronousKernel
@@ -191,3 +192,45 @@ def run_modified_ghs(
         recover=recover,
         audit=audit,
     )
+
+
+# -- runspec registration -----------------------------------------------------
+
+def _spec_kwargs(spec) -> dict:
+    """Shared RunSpec -> GHS-family runner kwargs mapping."""
+    from repro.runspec.spec import kernel_class
+
+    kwargs = {
+        "radius_const": spec.ghs_radius_const,
+        "rx_cost": spec.rx_cost,
+        "kernel_cls": kernel_class(spec.kernel),
+        "planes": spec.planes,
+        "recover": spec.recover,
+    }
+    if spec.faults is not None:
+        kwargs["faults"] = spec.faults
+    return kwargs
+
+
+def _ghs_adapter(points, spec):
+    return run_ghs(points, **_spec_kwargs(spec))
+
+
+def _mghs_adapter(points, spec):
+    return run_modified_ghs(points, **_spec_kwargs(spec))
+
+
+register_algorithm(
+    "GHS",
+    runner=run_ghs,
+    adapter=_ghs_adapter,
+    order=0,
+    summary="classical GHS with TEST probing - exact MST, Theta(log^2 n) energy",
+)
+register_algorithm(
+    "MGHS",
+    runner=run_modified_ghs,
+    adapter=_mghs_adapter,
+    order=1,
+    summary="modified GHS (neighbour caches + ANNOUNCE) - exact MST, fewer messages",
+)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.algorithms.base import AlgorithmResult, collect_tree_edges
 from repro.errors import ProtocolError
+from repro.runspec.registry import register_algorithm
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.message import Message
 from repro.sim.node import NodeProcess
@@ -140,3 +141,20 @@ def run_randnnt(
             "max_probe_radius": max((nd.last_radius for nd in nodes), default=0.0),
         },
     )
+
+
+# -- runspec registration -----------------------------------------------------
+
+def _randnnt_adapter(points, spec):
+    return run_randnnt(points, rx_cost=spec.rx_cost)
+
+
+register_algorithm(
+    "Rand-NNT",
+    runner=run_randnnt,
+    adapter=_randnnt_adapter,
+    order=4,
+    summary="random-rank NNT baseline [15] - O(log n) energy, no recovery layer",
+    supports_faults=False,
+    supports_kernel_mode=False,
+)

@@ -19,7 +19,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.ds.unionfind import UnionFind
 from repro.errors import GraphError, ProtocolError
 from repro.mst.quality import verify_spanning_tree
 from repro.sim.energy import SimStats

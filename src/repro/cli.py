@@ -2,7 +2,11 @@
 
 Gives downstream users the paper's experiments without writing code:
 
-* ``run``    — one algorithm on one instance, full stats;
+* ``run``    — one algorithm on one instance, full stats (a thin
+  :class:`~repro.runspec.spec.RunSpec` builder over
+  :func:`repro.runspec.engine.execute`; ``--spec``/``--emit-spec``
+  round-trip the spec as JSON);
+* ``algorithms`` — the registered algorithm labels and capabilities;
 * ``fig3a`` / ``fig3b`` — the energy sweep and the slope fits;
 * ``fig1`` / ``fig2``   — percolation picture / potential-region lemmas;
 * ``tab1``   — the Co-NNT vs MST quality comparison;
@@ -18,6 +22,7 @@ import sys
 
 from repro.experiments.config import BENCH_NS, SweepConfig
 from repro.experiments.report import format_table
+from repro.runspec import KERNEL_MODES, algorithm_names
 
 
 def _parse_crash(spec: str) -> tuple[int, int, int | None]:
@@ -51,13 +56,51 @@ def _build_fault_plan(args):
     )
 
 
-def _cmd_run(args) -> int:
-    from repro.experiments.runner import run_algorithm
-    from repro.geometry.points import uniform_points
+def _build_run_spec(args):
+    """The :class:`RunSpec` for the ``run`` flags (or the ``--spec`` file)."""
+    from pathlib import Path
 
-    pts = uniform_points(args.n, seed=args.seed)
-    faults = _build_fault_plan(args)
-    res = run_algorithm(args.algorithm, pts, faults=faults)
+    from repro.runspec import RunSpec
+
+    if args.spec:
+        spec = RunSpec.from_json(Path(args.spec).read_text())
+    else:
+        spec = RunSpec(
+            algorithm=args.algorithm,
+            n=args.n,
+            seed=args.seed,
+            kernel=args.kernel,
+            faults=_build_fault_plan(args),
+        )
+    # The instrumentation flags compose with a loaded spec: --perf /
+    # --trace on top of --spec FILE turn recording on for this run.
+    if args.perf:
+        spec = spec.with_(perf=True)
+    if args.trace is not None:
+        spec = spec.with_(trace=True)
+    return spec
+
+
+def _cmd_run(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import format_phase_summary
+    from repro.perf import format_snapshot
+    from repro.runspec import execute
+    from repro.trace import export_events_jsonl
+
+    if args.algorithm is None and not args.spec:
+        print("repro run: needs an algorithm label or --spec FILE", file=sys.stderr)
+        return 2
+    spec = _build_run_spec(args)
+    if args.emit_spec:
+        out = Path(args.emit_spec)
+        out.write_text(spec.to_json())
+        print(f"spec written to {out}")
+        return 0
+
+    report = execute(spec)
+    res = report.result
     print(res.summary())
     print("\nper message kind:")
     rows = [(k, m, f"{e:.4f}") for k, m, e in res.stats.kind_table()]
@@ -66,15 +109,41 @@ def _cmd_run(args) -> int:
         print("\nper stage:")
         rows = [(s, m, f"{e:.4f}") for s, m, e in res.stats.stage_table()]
         print(format_table(["stage", "messages", "energy"], rows))
-    if faults is not None:
+    if spec.faults is not None:
         print("\nfault plane:")
-        rows = res.stats.fault_table()
+        rows = report.fault_table()
         if rows:
             print(
                 format_table(["kind", "dropped", "crash-dropped", "dup"], rows)
             )
         else:
             print("(no deliveries dropped, duplicated or crash-dropped)")
+    if report.trace is not None:
+        if args.trace is not None:
+            path = export_events_jsonl(report.trace, args.trace)
+            print(f"\ntrace: {len(report.trace)} events -> {path}")
+        else:
+            print(f"\ntrace: {len(report.trace)} events")
+        print(format_phase_summary(report.trace))
+    if report.perf is not None:
+        print("\nperf report:")
+        print(format_snapshot(report.perf))
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    from repro.runspec import algorithm_entries
+
+    rows = [
+        (
+            e.name,
+            "yes" if e.supports_faults else "no",
+            "yes" if e.supports_kernel_mode else "no",
+            e.summary,
+        )
+        for e in algorithm_entries()
+    ]
+    print(format_table(["algorithm", "faults", "legacy kernel", "summary"], rows))
     return 0
 
 
@@ -230,10 +299,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one algorithm on one instance")
     run.add_argument(
-        "algorithm", choices=["GHS", "MGHS", "EOPT", "Co-NNT", "Rand-NNT"]
+        "algorithm",
+        nargs="?",
+        choices=list(algorithm_names()),
+        help="registered algorithm label (optional with --spec)",
     )
     run.add_argument("-n", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--kernel",
+        choices=list(KERNEL_MODES),
+        default="fast",
+        help="kernel implementation (legacy = frozen pre-optimization "
+        "reference; GHS family only)",
+    )
+    run.add_argument(
+        "--spec",
+        metavar="FILE.json",
+        help="load the full RunSpec from FILE (instance and fault flags "
+        "are then ignored; --perf/--trace still compose)",
+    )
+    run.add_argument(
+        "--emit-spec",
+        metavar="FILE.json",
+        help="write the assembled RunSpec JSON to FILE and exit "
+        "without running",
+    )
     run.add_argument("--perf", action="store_true", help=perf_help)
     run.add_argument(
         "--trace",
@@ -268,7 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the deterministic fault plane",
     )
-    run.set_defaults(func=_cmd_run)
+    # The run command manages its own instrumentation through the spec
+    # engine; main()'s global perf/trace wrapper must not double-record.
+    run.set_defaults(func=_cmd_run, spec_managed=True)
+
+    algs = sub.add_parser(
+        "algorithms", help="list the registered algorithms and capabilities"
+    )
+    algs.set_defaults(func=_cmd_algorithms)
 
     f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")
     f3a.add_argument("--max-n", type=int, default=2000)
@@ -338,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "spec_managed", False):
+        # Spec-managed commands record perf/trace through the engine's
+        # isolated snapshot lifecycle instead of the global wrapper.
+        return args.func(args)
     want_perf = getattr(args, "perf", False)
     trace_out = getattr(args, "trace", None)
     if not want_perf and trace_out is None:

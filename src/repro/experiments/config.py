@@ -8,7 +8,7 @@ keeps CI-style test runs fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 

@@ -3,7 +3,10 @@
 Sweeps are expensive (hundreds of full distributed simulations at the
 paper's grid), so benches and downstream analyses need to save and reload
 them.  The schema is deliberately plain JSON — no pickle — so results are
-diffable and portable.
+diffable and portable.  Every payload is stamped with ``schema_version``
+(writers before the runspec layer used ``schema``; loaders accept both)
+and numpy leakage is normalized through the one canonical
+:func:`repro.runspec.spec.jsonable` helper.
 """
 
 from __future__ import annotations
@@ -17,15 +20,34 @@ from repro.algorithms.base import AlgorithmResult
 from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.experiments.runner import EnergySweep
+from repro.runspec.report import result_to_dict
+from repro.runspec.spec import SCHEMA_VERSION, jsonable
 
-SCHEMA_VERSION = 1
+__all__ = [
+    "SCHEMA_VERSION",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "save_sweep",
+    "load_sweep",
+    "result_to_dict",
+    "save_result",
+]
+
+
+def _check_schema(data: dict, kind: str) -> None:
+    """Validate the ``kind`` and ``schema_version`` stamps of a payload."""
+    if data.get("kind") != kind:
+        raise ExperimentError(f"not an {kind} payload: {data.get('kind')!r}")
+    version = data.get("schema_version", data.get("schema"))
+    if version != SCHEMA_VERSION:
+        raise ExperimentError(f"unsupported schema version {version!r}")
 
 
 def sweep_to_dict(sweep: EnergySweep) -> dict:
     """Convert an :class:`EnergySweep` to plain JSON-serialisable data."""
     cfg = sweep.config
     return {
-        "schema": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "kind": "energy_sweep",
         "config": {
             "ns": list(cfg.ns),
@@ -44,10 +66,7 @@ def sweep_to_dict(sweep: EnergySweep) -> dict:
 
 def sweep_from_dict(data: dict) -> EnergySweep:
     """Inverse of :func:`sweep_to_dict` (validates the schema)."""
-    if data.get("kind") != "energy_sweep":
-        raise ExperimentError(f"not an energy_sweep payload: {data.get('kind')!r}")
-    if data.get("schema") != SCHEMA_VERSION:
-        raise ExperimentError(f"unsupported schema version {data.get('schema')!r}")
+    _check_schema(data, "energy_sweep")
     c = data["config"]
     cfg = SweepConfig(
         ns=tuple(c["ns"]),
@@ -82,7 +101,7 @@ def sweep_from_dict(data: dict) -> EnergySweep:
 def save_sweep(sweep: EnergySweep, path: str | Path) -> Path:
     """Write a sweep to ``path`` as JSON; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(sweep_to_dict(sweep), indent=1))
+    path.write_text(json.dumps(jsonable(sweep_to_dict(sweep)), indent=1))
     return path
 
 
@@ -91,46 +110,12 @@ def load_sweep(path: str | Path) -> EnergySweep:
     return sweep_from_dict(json.loads(Path(path).read_text()))
 
 
-def result_to_dict(result: AlgorithmResult) -> dict:
-    """Serialise one algorithm run (tree + stats) to plain data."""
-    s = result.stats
-    return {
-        "schema": SCHEMA_VERSION,
-        "kind": "algorithm_result",
-        "name": result.name,
-        "n": result.n,
-        "phases": result.phases,
-        "tree_edges": result.tree_edges.tolist(),
-        "extras": _jsonable(result.extras),
-        "stats": {
-            "energy_total": s.energy_total,
-            "messages_total": s.messages_total,
-            "rounds": s.rounds,
-            "energy_by_kind": s.energy_by_kind,
-            "messages_by_kind": s.messages_by_kind,
-            "energy_by_stage": s.energy_by_stage,
-            "messages_by_stage": s.messages_by_stage,
-            "rx_energy_total": s.rx_energy_total,
-            "receptions_total": s.receptions_total,
-        },
-    }
-
-
 def save_result(result: AlgorithmResult, path: str | Path) -> Path:
-    """Write one run's record to ``path`` as JSON; returns the path."""
+    """Write one run's record to ``path`` as JSON; returns the path.
+
+    The payload is :func:`repro.runspec.report.result_to_dict` — the full
+    statistics record the runspec layer archives inside run reports.
+    """
     path = Path(path)
     path.write_text(json.dumps(result_to_dict(result), indent=1))
     return path
-
-
-def _jsonable(obj):
-    """Best-effort conversion of extras (numpy scalars/arrays) to JSON."""
-    if isinstance(obj, dict):
-        return {k: _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonable(v) for v in obj]
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, np.generic):
-        return obj.item()
-    return obj

@@ -1,124 +1,53 @@
 """Process-parallel sweep execution.
 
 The Fig. 3 sweep at the paper's full grid is hundreds of independent
-simulations — embarrassingly parallel.  ``sweep_energy_parallel`` fans
-the (algorithm, n, seed) grid out over a process pool and reassembles an
-:class:`~repro.experiments.runner.EnergySweep` bit-identical to the
-serial one (every cell is a deterministic function of its coordinates).
+simulations — embarrassingly parallel.  ``sweep_energy_parallel`` is now
+a thin shell over the runspec engine: the same spec list the serial
+sweep executes goes to :func:`repro.runspec.engine.execute_batch` with
+``backend="process"``, which ships each spec to a worker as its
+serialized dict (small, self-describing task payloads — the worker
+re-derives the instance from the seed through the per-process
+:func:`~repro.experiments.instances.get_points` cache).  Tasks stay
+cell-major ((n, seed) outer, algorithm inner) and chunks align to the
+algorithm count, so one chunk carries every algorithm of a cell and the
+worker builds the instance once.
 
-Workers re-derive the instance from the seed instead of shipping point
-arrays across the pipe — cheaper and keeps tasks self-describing (cf. the
-mpi4py guidance on communicating small descriptors over big buffers).
-Each worker derives it through the per-process
-:func:`~repro.experiments.instances.get_points` cache; tasks are ordered
-cell-major ((n, seed) outer, algorithm inner) and chunked so that one
-chunk carries every algorithm of a cell — the worker builds the instance
-once and the remaining algorithms of the cell hit the cache.
-
-One :class:`~concurrent.futures.ProcessPoolExecutor` stays alive at
-module level across sweeps: spawning workers pays interpreter start-up
-and a cold instance cache on every call otherwise, which dwarfs small
-sweeps.  :func:`shutdown` tears it down explicitly (tests, clean exits);
-a sweep that dies with a broken pool also tears it down so the next call
-gets fresh workers, and an ``atexit`` hook shuts it down at interpreter
-exit so no sweep-and-exit process leaks its workers.
+The engine owns the module-level :class:`~concurrent.futures.ProcessPoolExecutor`
+that stays alive across sweeps (spawning workers pays interpreter
+start-up and a cold instance cache on every call otherwise);
+:func:`shutdown` tears it down explicitly (tests, clean exits), an
+``atexit`` hook reaps it at interpreter exit, and a host that cannot
+spawn a pool at all (sandboxed CI) degrades to the serial backend with a
+single :class:`RuntimeWarning` — every cell is deterministic, so the
+results are identical, only slower.  ``_pool`` / ``_pool_workers`` remain
+readable here as aliases of the engine's pool state.
 """
 
 from __future__ import annotations
 
 import atexit
-import math
-import os
-from concurrent.futures import ProcessPoolExecutor
 
-import numpy as np
-
-from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
-from repro.experiments.instances import get_points
-from repro.experiments.runner import EnergySweep, run_algorithm
-from repro.perf import perf
-from repro.trace import trace
+from repro.experiments.runner import EnergySweep, sweep_from_reports, sweep_specs
+from repro.runspec import engine as _engine
+from repro.runspec.engine import execute_batch, shutdown
+
+__all__ = ["sweep_energy_parallel", "shutdown"]
 
 
-#: The module-level pool reused across sweeps (lazily created).
-_pool: ProcessPoolExecutor | None = None
-_pool_workers = 0
-
-
-def _executor(workers: int) -> ProcessPoolExecutor:
-    """The shared pool, (re)created when the worker count changes."""
-    global _pool, _pool_workers
-    if _pool is None or _pool_workers != workers:
-        shutdown()
-        _pool = ProcessPoolExecutor(max_workers=workers)
-        _pool_workers = workers
-    return _pool
-
-
-def shutdown() -> None:
-    """Tear down the shared pool (idempotent; next sweep respawns it)."""
-    global _pool, _pool_workers
-    if _pool is not None:
-        _pool.shutdown()
-        _pool = None
-        _pool_workers = 0
-
-
-# A process that sweeps and exits without calling shutdown() would leak
-# the worker processes until interpreter teardown reaps them (and under
-# some start methods hang joining them).  Registering shutdown() makes
-# the module-level pool safe to hold for the process lifetime.
+# The engine registers its own hook; registering the (idempotent)
+# shutdown here as well preserves this module's historical contract that
+# importing it alone makes sweep-and-exit safe.
 atexit.register(shutdown)
 
 
-def _run_cell(task: tuple) -> tuple:
-    """Worker: one (algorithm, n, seed) cell -> (key, energy, messages,
-    rounds, perf snapshot, trace snapshot).
-
-    Module-level so it pickles under the spawn start method.  The parent
-    can't flip the workers' process-global perf/trace registries (the
-    pool is pre-spawned and reused), so whether instrumentation is wanted
-    travels in the task; the worker records into a registry reset at the
-    task boundary — pool reuse must not leak one cell's numbers into the
-    next — and ships the per-cell snapshot back for the parent to merge.
-    Snapshots are ``None`` when instrumentation is off, keeping the
-    fast path's IPC payload unchanged.
-    """
-    alg, n, seed, cfg_tuple, want_perf, want_trace = task
-    cfg = SweepConfig(*cfg_tuple)
-    pts = get_points(n, seed)
-    psnap = tsnap = None
-    if want_perf:
-        perf.reset()
-        perf.enable()
-    if want_trace:
-        trace.reset()
-        trace.enable()
-    try:
-        res = run_algorithm(alg, pts, cfg)
-    finally:
-        if want_perf:
-            psnap = perf.snapshot()
-            perf.disable()
-            perf.reset()
-        if want_trace:
-            tsnap = trace.snapshot()
-            trace.disable()
-            trace.reset()
-    return (alg, n, seed), res.energy, res.messages, res.rounds, psnap, tsnap
-
-
-def _chunksize(n_tasks: int, workers: int, per_chunk: int) -> int:
-    """Adaptive ``pool.map`` chunksize.
-
-    A multiple of ``per_chunk`` (the number of algorithms per cell, so a
-    chunk never splits a cell across workers), aiming at ~4 chunks per
-    worker to balance scheduling overhead against tail latency.
-    """
-    per_chunk = max(1, per_chunk)
-    target = math.ceil(n_tasks / (workers * 4))
-    return max(per_chunk, per_chunk * math.ceil(target / per_chunk))
+def __getattr__(name: str):
+    # The pool state lives in the engine now; keep the long-standing
+    # ``parallel._pool`` / ``parallel._pool_workers`` introspection
+    # surface (tests, debugging) aliased to it.
+    if name in ("_pool", "_pool_workers"):
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def sweep_energy_parallel(
@@ -127,6 +56,10 @@ def sweep_energy_parallel(
     workers: int | None = None,
 ) -> EnergySweep:
     """Run the sweep grid on a process pool.
+
+    Bit-identical to :func:`~repro.experiments.runner.sweep_energy`
+    (every cell is a deterministic function of its coordinates) — the two
+    differ only in the ``execute_batch`` backend.
 
     Parameters
     ----------
@@ -139,60 +72,11 @@ def sweep_energy_parallel(
         host there is no speedup, only isolation.
     """
     cfg = config or SweepConfig()
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
-
-    cfg_tuple = (
-        cfg.ns,
-        cfg.seeds,
-        cfg.algorithms,
-        cfg.ghs_radius_const,
-        cfg.eopt_c1,
-        cfg.eopt_c2,
-        cfg.eopt_beta,
+    specs = sweep_specs(cfg)
+    reports = execute_batch(
+        specs,
+        backend="process",
+        workers=workers,
+        chunk_align=len(cfg.algorithms),
     )
-    # Cell-major ordering: all algorithms of one (n, seed) cell are
-    # adjacent, so a cell's chunk shares one cached instance build.
-    # The parent's instrumentation switches are captured here, once: the
-    # pre-spawned workers never see this process's registries.
-    want_perf = perf.enabled
-    want_trace = trace.enabled
-    tasks = [
-        (alg, n, seed, cfg_tuple, want_perf, want_trace)
-        for n in cfg.ns
-        for seed in cfg.seeds
-        for alg in cfg.algorithms
-    ]
-
-    shape = (len(cfg.ns), len(cfg.seeds))
-    energy = {a: np.zeros(shape) for a in cfg.algorithms}
-    messages = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
-    rounds = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
-    n_index = {n: i for i, n in enumerate(cfg.ns)}
-    s_index = {s: j for j, s in enumerate(cfg.seeds)}
-
-    chunksize = _chunksize(len(tasks), workers, len(cfg.algorithms))
-    pool = _executor(workers)
-    try:
-        for (alg, n, seed), e, m, r, psnap, tsnap in pool.map(
-            _run_cell, tasks, chunksize=chunksize
-        ):
-            i, j = n_index[n], s_index[seed]
-            energy[alg][i, j] = e
-            messages[alg][i, j] = m
-            rounds[alg][i, j] = r
-            # pool.map yields in task order, so merged traces interleave
-            # cells exactly as the serial sweep would run them.
-            if psnap is not None:
-                perf.merge(psnap)
-            if tsnap is not None:
-                trace.merge(tsnap, source=f"{alg}:n{n}:s{seed}")
-    except BaseException:
-        # A worker crash (BrokenProcessPool) or interrupt may leave the
-        # shared pool unusable; drop it so the next sweep starts clean.
-        shutdown()
-        raise
-
-    return EnergySweep(config=cfg, energy=energy, messages=messages, rounds=rounds)
+    return sweep_from_reports(cfg, specs, reports)

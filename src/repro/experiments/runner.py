@@ -1,26 +1,56 @@
-"""Seeded sweep execution.
+"""Seeded sweep execution on top of the runspec engine.
 
 ``run_algorithm`` is the single dispatch point from an algorithm label to
 a runner, so benches, tables and tests agree on what "GHS at n = 1000"
-means.  ``sweep_energy`` runs a full (algorithm x n x seed) grid and
-returns the energy tensor plus means.
+means; it resolves the label through the algorithm registry
+(:mod:`repro.runspec.registry`) — the accepted labels are whatever is
+registered, in canonical order.  ``sweep_energy`` runs a full
+(algorithm x n x seed) grid by generating one :class:`RunSpec` per cell
+entry and feeding them to :func:`repro.runspec.engine.execute_batch`,
+then folding the reports into the energy tensor plus means.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.algorithms.base import AlgorithmResult
-from repro.algorithms.connt import run_connt
-from repro.algorithms.eopt import run_eopt
-from repro.algorithms.ghs import run_ghs, run_modified_ghs
-from repro.algorithms.randnnt import run_randnnt
-from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
-from repro.experiments.instances import get_points
+from repro.perf import perf
+from repro.runspec.engine import dispatch, execute_batch
+from repro.runspec.registry import get as get_algorithm
+from repro.runspec.report import RunReport
+from repro.runspec.spec import RunSpec
 from repro.sim.faults import FaultPlan
+from repro.trace import trace
+
+
+def spec_from_config(
+    name: str,
+    cfg: SweepConfig,
+    *,
+    n: int,
+    seed: int = 0,
+    faults: FaultPlan | None = None,
+    perf: bool = False,
+    trace: bool = False,
+) -> RunSpec:
+    """Build the :class:`RunSpec` for ``name`` with the sweep's constants."""
+    return RunSpec(
+        algorithm=name,
+        n=n,
+        seed=seed,
+        ghs_radius_const=cfg.ghs_radius_const,
+        eopt_c1=cfg.eopt_c1,
+        eopt_c2=cfg.eopt_c2,
+        eopt_beta=cfg.eopt_beta,
+        faults=faults,
+        perf=perf,
+        trace=trace,
+    )
 
 
 def run_algorithm(
@@ -32,32 +62,19 @@ def run_algorithm(
 ) -> AlgorithmResult:
     """Run the algorithm labelled ``name`` with the sweep's constants.
 
-    Accepted labels: ``"GHS"``, ``"MGHS"``, ``"EOPT"``, ``"Co-NNT"``,
-    ``"Rand-NNT"`` (the [15] baseline from the paper's Related Work).
+    ``name`` is resolved through the algorithm registry
+    (:func:`repro.runspec.registry.names` lists what is accepted; an
+    unknown label raises with the registered labels spelled out).
 
     ``faults`` threads a seeded :class:`FaultPlan` into the runner; the
     GHS family and Co-NNT recover (ACK/retry), Rand-NNT has no recovery
     layer and rejects a non-null plan.
     """
     cfg = config or SweepConfig()
-    fkw = {} if faults is None else {"faults": faults}
-    if name == "GHS":
-        return run_ghs(points, radius_const=cfg.ghs_radius_const, **fkw)
-    if name == "MGHS":
-        return run_modified_ghs(points, radius_const=cfg.ghs_radius_const, **fkw)
-    if name == "EOPT":
-        return run_eopt(
-            points, c1=cfg.eopt_c1, c2=cfg.eopt_c2, beta=cfg.eopt_beta, **fkw
-        )
-    if name == "Co-NNT":
-        return run_connt(points, **fkw)
-    if name == "Rand-NNT":
-        if faults is not None and not faults.is_null:
-            raise ExperimentError(
-                "Rand-NNT has no fault-recovery layer; run it without --drop-rate/--crash"
-            )
-        return run_randnnt(points)
-    raise ExperimentError(f"unknown algorithm label {name!r}")
+    pts = np.asarray(points, dtype=float)
+    entry = get_algorithm(name)
+    spec = spec_from_config(name, cfg, n=len(pts), faults=faults)
+    return dispatch(entry, pts, spec)
 
 
 @dataclass(frozen=True)
@@ -86,24 +103,77 @@ class EnergySweep:
         return self.messages[alg].mean(axis=1)
 
 
+def sweep_specs(
+    config: SweepConfig | None = None,
+    *,
+    perf_enabled: bool | None = None,
+    trace_enabled: bool | None = None,
+) -> list[RunSpec]:
+    """The sweep grid as specs, cell-major ((n, seed) outer, algorithm inner).
+
+    Cell-major ordering keeps all algorithms of one (n, seed) cell
+    adjacent, so a process-pool chunk aligned to ``len(cfg.algorithms)``
+    shares one cached instance build per cell, and merged traces
+    interleave cells exactly as the serial sweep runs them.
+
+    ``perf_enabled`` / ``trace_enabled`` set the specs' instrumentation
+    switches; they default to the *ambient* registry state, so an
+    instrumented session (``--perf`` / ``--trace``) transparently gets
+    per-cell snapshots merged back by :func:`sweep_from_reports`.
+    """
+    cfg = config or SweepConfig()
+    want_perf = perf.enabled if perf_enabled is None else perf_enabled
+    want_trace = trace.enabled if trace_enabled is None else trace_enabled
+    return [
+        spec_from_config(
+            alg, cfg, n=n, seed=seed, perf=want_perf, trace=want_trace
+        )
+        for n in cfg.ns
+        for seed in cfg.seeds
+        for alg in cfg.algorithms
+    ]
+
+
+def sweep_from_reports(
+    cfg: SweepConfig,
+    specs: Sequence[RunSpec],
+    reports: Iterable[RunReport],
+) -> EnergySweep:
+    """Fold per-spec reports into the sweep tensors.
+
+    Reports must arrive in spec order (``execute_batch`` guarantees it).
+    Instrumentation snapshots carried by the reports merge into the
+    ambient registries here — traces gain a ``src`` stamp naming the
+    sweep cell, identical for the serial and process backends.
+    """
+    shape = (len(cfg.ns), len(cfg.seeds))
+    energy = {a: np.zeros(shape) for a in cfg.algorithms}
+    messages = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
+    rounds = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
+    n_index = {n: i for i, n in enumerate(cfg.ns)}
+    s_index = {s: j for j, s in enumerate(cfg.seeds)}
+    for spec, report in zip(specs, reports):
+        i, j = n_index[spec.n], s_index[spec.seed]
+        energy[spec.algorithm][i, j] = report.energy
+        messages[spec.algorithm][i, j] = report.messages
+        rounds[spec.algorithm][i, j] = report.rounds
+        if report.perf is not None:
+            perf.merge(report.perf)
+        if report.trace is not None:
+            trace.merge(report.trace, source=spec.cell)
+    return EnergySweep(config=cfg, energy=energy, messages=messages, rounds=rounds)
+
+
 def sweep_energy(config: SweepConfig | None = None) -> EnergySweep:
     """Run the full sweep; every (n, seed) uses one shared point set.
 
     Sharing the point set across algorithms matches the paper's setup
     (all three algorithms measured on the same random instances) and
-    removes cross-algorithm sampling noise from the comparison.
+    removes cross-algorithm sampling noise from the comparison.  The grid
+    goes through :func:`repro.runspec.engine.execute_batch` with the
+    serial backend — the same path the process-parallel sweep fans out.
     """
     cfg = config or SweepConfig()
-    shape = (len(cfg.ns), len(cfg.seeds))
-    energy = {a: np.zeros(shape) for a in cfg.algorithms}
-    messages = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
-    rounds = {a: np.zeros(shape, dtype=np.int64) for a in cfg.algorithms}
-    for i, n in enumerate(cfg.ns):
-        for j, seed in enumerate(cfg.seeds):
-            pts = get_points(n, seed)
-            for alg in cfg.algorithms:
-                res = run_algorithm(alg, pts, cfg)
-                energy[alg][i, j] = res.energy
-                messages[alg][i, j] = res.messages
-                rounds[alg][i, j] = res.rounds
-    return EnergySweep(config=cfg, energy=energy, messages=messages, rounds=rounds)
+    specs = sweep_specs(cfg)
+    reports = execute_batch(specs, backend="serial")
+    return sweep_from_reports(cfg, specs, reports)

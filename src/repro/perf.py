@@ -152,16 +152,30 @@ class PerfRegistry:
 
     def report(self) -> str:
         """Human-readable table of everything recorded so far."""
-        lines = []
-        if self.timers:
-            lines.append("timers:")
-            for name, (total, calls) in sorted(self.timers.items()):
-                lines.append(f"  {name:<32} {total * 1e3:10.2f} ms  x{calls}")
-        if self.counters:
-            lines.append("counters:")
-            for name, count in sorted(self.counters.items()):
-                lines.append(f"  {name:<32} {count}")
-        return "\n".join(lines) if lines else "(no perf data recorded)"
+        return format_snapshot(self.snapshot())
+
+
+def format_snapshot(snapshot: dict[str, Any]) -> str:
+    """Render a :meth:`PerfRegistry.snapshot` as the ``report()`` table.
+
+    Works on any snapshot dict — the live registry's, one shipped back
+    from a worker, or one reloaded from a serialized
+    :class:`~repro.runspec.report.RunReport`.
+    """
+    lines = []
+    timers = snapshot.get("timers", {})
+    counters = snapshot.get("counters", {})
+    if timers:
+        lines.append("timers:")
+        for name, cell in sorted(timers.items()):
+            lines.append(
+                f"  {name:<32} {cell['total_s'] * 1e3:10.2f} ms  x{cell['calls']}"
+            )
+    if counters:
+        lines.append("counters:")
+        for name, count in sorted(counters.items()):
+            lines.append(f"  {name:<32} {count}")
+    return "\n".join(lines) if lines else "(no perf data recorded)"
 
 
 #: The process-global registry every hook writes to.

@@ -1,0 +1,243 @@
+"""The one execution engine under the CLI, sweeps and benchmarks.
+
+:func:`execute` turns a :class:`~repro.runspec.spec.RunSpec` into a
+:class:`~repro.runspec.report.RunReport`: it resolves the algorithm
+through the registry, derives the instance from ``(n, seed)`` via the
+shared per-process cache, validates capability flags (fault recovery,
+legacy kernel) and owns the perf/trace reset–enable–snapshot lifecycle
+that used to be duplicated between ``cli.py`` and
+``experiments/parallel.py``.  Instrumentation requested by the spec is
+*isolated*: whatever the ambient process registries held before the call
+is saved and restored, so a spec-managed run can record its own snapshot
+inside a larger instrumented session without clobbering it.
+
+:func:`execute_batch` is the one fan-out path.  ``backend="serial"``
+executes in-process; ``backend="process"`` ships each spec to a worker as
+its serialized dict (small, self-describing task payloads — the worker
+re-derives the instance from the seed) and returns the reports in spec
+order.  One :class:`~concurrent.futures.ProcessPoolExecutor` stays alive
+at module level across batches (spawning workers pays interpreter
+start-up and a cold instance cache otherwise); :func:`shutdown` tears it
+down, and an ``atexit`` hook reaps it at interpreter exit.  When the
+host cannot spawn a process pool at all (sandboxed CI, locked-down
+containers), the batch degrades to the serial backend with a single
+:class:`RuntimeWarning` instead of raising — every cell is deterministic,
+so the results are identical, only slower.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable
+
+from repro.errors import ExperimentError
+from repro.perf import perf
+from repro.runspec.registry import AlgorithmEntry, get
+from repro.runspec.report import RunReport
+from repro.runspec.spec import RunSpec
+from repro.trace import trace
+
+__all__ = ["execute", "execute_batch", "dispatch", "shutdown"]
+
+#: Batch backends accepted by :func:`execute_batch`.
+BACKENDS = ("serial", "process")
+
+
+def dispatch(entry: AlgorithmEntry, points, spec: RunSpec):
+    """Run ``entry`` on explicit ``points`` under ``spec``'s knobs.
+
+    The capability checks live here — one place — so the legacy
+    :func:`repro.experiments.runner.run_algorithm` surface and the spec
+    engine reject unsupported combinations with identical errors.
+    """
+    if spec.kernel != "fast" and not entry.supports_kernel_mode:
+        raise ExperimentError(
+            f"{entry.name} does not support kernel={spec.kernel!r}; "
+            f"only the GHS family runs on the legacy reference kernel"
+        )
+    if (
+        spec.faults is not None
+        and not spec.faults.is_null
+        and not entry.supports_faults
+    ):
+        raise ExperimentError(
+            f"{entry.name} has no fault-recovery layer; "
+            "run it without --drop-rate/--crash"
+        )
+    return entry.adapter(points, spec)
+
+
+def execute(spec: RunSpec) -> RunReport:
+    """Execute one spec and return its full report.
+
+    Bit-identical to calling the underlying runner directly with the
+    spec's constants (pinned by ``tests/test_runspec.py``): the engine is
+    plumbing, not behavior.
+    """
+    # Imported lazily: experiments.instances sits above the algorithm
+    # layer, whose runner modules import this package to self-register.
+    from repro.experiments.instances import get_points
+
+    entry = get(spec.algorithm)
+    pts = get_points(spec.n, spec.seed)
+    psnap = tsnap = None
+    if spec.perf:
+        perf_was_on, perf_prev = perf.enabled, perf.snapshot()
+        perf.reset()
+        perf.enable()
+    if spec.trace:
+        trace_was_on, trace_prev = trace.enabled, trace.snapshot()
+        trace.reset()
+        trace.enable()
+    try:
+        result = dispatch(entry, pts, spec)
+    finally:
+        # Snapshot the run's own data, then restore the ambient registry
+        # state exactly (a spec-managed run inside a larger instrumented
+        # session must not clobber what the session already accumulated).
+        if spec.perf:
+            psnap = perf.snapshot()
+            perf.disable()
+            perf.reset()
+            perf.merge(perf_prev)
+            if perf_was_on:
+                perf.enable()
+        if spec.trace:
+            tsnap = trace.snapshot()
+            trace.disable()
+            trace.reset()
+            trace.merge(trace_prev)
+            if trace_was_on:
+                trace.enable()
+    return RunReport(spec=spec, result=result, perf=psnap, trace=tsnap)
+
+
+# -- process backend ---------------------------------------------------------
+
+#: The module-level pool reused across batches (lazily created).
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+#: Exceptions that mean "the pool machinery is unusable", as opposed to a
+#: worker raising from inside a run: spawn failures surface as OSError
+#: (EPERM/ENOSYS under sandboxes), missing multiprocessing primitives as
+#: ImportError/NotImplementedError, and a dead pool as BrokenProcessPool.
+_POOL_FAILURES = (BrokenProcessPool, OSError, ImportError, NotImplementedError)
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, (re)created when the worker count changes."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        shutdown()
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the shared pool (idempotent; next batch respawns it)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+        _pool_workers = 0
+
+
+# A process that batches and exits without calling shutdown() would leak
+# the worker processes until interpreter teardown reaps them (and under
+# some start methods hang joining them).
+atexit.register(shutdown)
+
+
+def _execute_task(spec_dict: dict) -> RunReport:
+    """Worker: one serialized spec -> its report.
+
+    Module-level so it pickles under the spawn start method.  The task is
+    the spec's JSON dict — small and self-describing; the worker derives
+    the instance through its per-process cache and, because the spec
+    carries the perf/trace switches, records isolated snapshots that ship
+    back inside the report for the parent to merge.
+    """
+    return execute(RunSpec.from_dict(spec_dict))
+
+
+def _chunksize(n_tasks: int, workers: int, align: int) -> int:
+    """Adaptive ``pool.map`` chunksize.
+
+    A multiple of ``align`` (e.g. the number of algorithms per sweep
+    cell, so a chunk never splits a cell across workers and one chunk
+    shares one cached instance build), aiming at ~4 chunks per worker to
+    balance scheduling overhead against tail latency.
+    """
+    align = max(1, align)
+    target = math.ceil(n_tasks / (workers * 4))
+    return max(align, align * math.ceil(target / align))
+
+
+def execute_batch(
+    specs: Iterable[RunSpec],
+    *,
+    backend: str = "serial",
+    workers: int | None = None,
+    chunk_align: int = 1,
+) -> list[RunReport]:
+    """Execute many specs; reports come back in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The run requests.  Order is preserved — report ``i`` belongs to
+        spec ``i`` — so callers can merge instrumentation deterministically.
+    backend:
+        ``"serial"`` runs in-process; ``"process"`` fans out over the
+        shared process pool (falling back to serial, with one warning,
+        when the host cannot spawn a pool).
+    workers:
+        Pool size for the process backend; defaults to the CPU count.
+    chunk_align:
+        Chunk-size alignment for the process backend (see
+        :func:`_chunksize`).
+    """
+    specs = list(specs)
+    if backend not in BACKENDS:
+        raise ExperimentError(
+            f"unknown batch backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "serial":
+        return [execute(s) for s in specs]
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    if not specs:
+        return []
+    tasks = [s.to_dict() for s in specs]
+    chunksize = _chunksize(len(tasks), workers, chunk_align)
+    try:
+        pool = _executor(workers)
+        return list(pool.map(_execute_task, tasks, chunksize=chunksize))
+    except _POOL_FAILURES as exc:
+        # The pool machinery itself is unusable (sandboxed CI, broken
+        # workers).  Every cell is deterministic, so degrading to the
+        # serial backend changes nothing but wall-clock; a genuine
+        # per-run error re-raises from the serial execute() below.
+        shutdown()
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to the serial backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [execute(s) for s in specs]
+    except BaseException:
+        # A worker crash or interrupt may leave the shared pool unusable;
+        # drop it so the next batch starts clean.
+        shutdown()
+        raise

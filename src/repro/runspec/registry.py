@@ -1,0 +1,146 @@
+"""The algorithm registry: one canonical name -> runner mapping.
+
+Each runner module self-registers an :class:`AlgorithmEntry` at import
+time (see the bottom of ``repro/algorithms/*/runner.py``), replacing the
+string-label if-chains that used to live in ``experiments/runner.py`` and
+the hand-maintained ``choices`` lists in the CLI.  The registry is the
+single source of truth for:
+
+* which labels exist (:func:`names`, in canonical paper order);
+* how a :class:`~repro.runspec.spec.RunSpec` maps onto a runner's
+  keyword surface (each entry's ``adapter``);
+* which capabilities a runner supports (fault recovery, the legacy
+  reference kernel), so unsupported spec combinations fail loudly with
+  the registered names listed.
+
+Lookups lazily import the built-in runner modules, so ``get("GHS")``
+works without the caller importing :mod:`repro.algorithms` first.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+
+__all__ = ["AlgorithmEntry", "register_algorithm", "get", "names", "entries"]
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One registered algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical label (``"GHS"``, ``"MGHS"``, ``"EOPT"``, ``"Co-NNT"``,
+        ``"Rand-NNT"``, ...).
+    runner:
+        The underlying ``run_*`` function (identity matters: the registry
+        completeness test maps entries back to runner functions).
+    adapter:
+        ``(points, spec) -> AlgorithmResult`` — maps a
+        :class:`~repro.runspec.spec.RunSpec` onto the runner's kwargs.
+    order:
+        Sort key for the canonical listing (paper presentation order).
+    summary:
+        One-line description for tables and ``repro algorithms``.
+    supports_faults:
+        Whether the runner has a fault-recovery layer (a non-null
+        :class:`~repro.sim.faults.FaultPlan` is rejected otherwise).
+    supports_kernel_mode:
+        Whether the runner accepts ``kernel_cls`` (the ``"legacy"``
+        reference kernel is rejected otherwise).
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    adapter: Callable[..., Any]
+    order: int
+    summary: str = ""
+    supports_faults: bool = True
+    supports_kernel_mode: bool = True
+
+
+#: Modules whose import registers the built-in algorithms.
+_RUNNER_MODULES = (
+    "repro.algorithms.ghs.runner",
+    "repro.algorithms.eopt.runner",
+    "repro.algorithms.connt.runner",
+    "repro.algorithms.randnnt.protocol",
+)
+
+_REGISTRY: dict[str, AlgorithmEntry] = {}
+_loaded = False
+
+
+def register_algorithm(
+    name: str,
+    *,
+    runner: Callable[..., Any],
+    adapter: Callable[..., Any],
+    order: int,
+    summary: str = "",
+    supports_faults: bool = True,
+    supports_kernel_mode: bool = True,
+) -> AlgorithmEntry:
+    """Register one algorithm; called by runner modules at import time.
+
+    Re-registering the same ``(name, runner)`` pair is a no-op (module
+    reloads); registering a different runner under a taken name raises.
+    """
+    entry = AlgorithmEntry(
+        name=name,
+        runner=runner,
+        adapter=adapter,
+        order=order,
+        summary=summary,
+        supports_faults=supports_faults,
+        supports_kernel_mode=supports_kernel_mode,
+    )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing.runner is not runner:
+        raise ExperimentError(
+            f"algorithm label {name!r} is already registered to "
+            f"{existing.runner.__module__}.{existing.runner.__qualname__}"
+        )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in runner modules once so they self-register."""
+    global _loaded
+    if _loaded:
+        return
+    for module in _RUNNER_MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+def names() -> tuple[str, ...]:
+    """All registered labels, in canonical (paper presentation) order."""
+    _ensure_loaded()
+    return tuple(
+        e.name for e in sorted(_REGISTRY.values(), key=lambda e: (e.order, e.name))
+    )
+
+
+def entries() -> tuple[AlgorithmEntry, ...]:
+    """All registered entries, in canonical order."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY.values(), key=lambda e: (e.order, e.name)))
+
+
+def get(name: str) -> AlgorithmEntry:
+    """The entry for ``name``; unknown labels list what *is* registered."""
+    _ensure_loaded()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ExperimentError(
+            f"unknown algorithm label {name!r}; registered algorithms: "
+            + ", ".join(names())
+        )
+    return entry

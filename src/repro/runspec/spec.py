@@ -1,0 +1,257 @@
+"""Declarative run descriptions: :class:`RunSpec` and JSON helpers.
+
+A :class:`RunSpec` is a frozen, JSON-round-trippable value describing one
+algorithm run completely: algorithm label, instance coordinates
+``(n, seed)``, the paper's radii constants, kernel mode flags, an
+optional :class:`~repro.sim.faults.FaultPlan`, and the perf/trace
+instrumentation switches.  Because a spec is *data*, not call-site code,
+a run request can be saved, diffed, queued, shipped to another process or
+host, and replayed — the precondition for sharded multi-host sweeps.
+
+:func:`jsonable` is the one canonical normalizer from numpy-contaminated
+result payloads (``AlgorithmResult.extras`` and friends) to plain JSON
+types; every writer in :mod:`repro.experiments.io` and
+:mod:`repro.runspec.report` goes through it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.geometry.radius import PAPER_EOPT_STEP1_CONST, PAPER_GHS_RADIUS_CONST
+from repro.sim.faults import FaultPlan
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KERNEL_MODES",
+    "RunSpec",
+    "jsonable",
+    "kernel_class",
+    "faultplan_to_dict",
+    "faultplan_from_dict",
+]
+
+#: Schema stamp written into every spec / report / sweep JSON payload.
+SCHEMA_VERSION = 1
+
+#: Accepted kernel implementations: the optimized hot path and the frozen
+#: pre-optimization reference (benchmarks only).
+KERNEL_MODES = ("fast", "legacy")
+
+
+def jsonable(obj: Any) -> Any:
+    """Normalize ``obj`` to plain JSON-serializable Python types.
+
+    Handles the numpy leakage every runner produces: scalars
+    (``np.int64``/``np.float64``/``np.bool_``), arrays (to nested lists),
+    containers (dicts, lists, tuples, sets) and non-string dict keys.
+    Anything already JSON-native passes through unchanged.
+    """
+    if isinstance(obj, dict):
+        return {_json_key(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
+def _json_key(key: Any) -> Any:
+    """Dict keys: numpy scalars become native so ``json.dumps`` accepts them."""
+    if isinstance(key, np.bool_):
+        return bool(key)
+    if isinstance(key, np.generic):
+        return key.item()
+    return key
+
+
+def kernel_class(mode: str):
+    """Resolve a kernel-mode label to the kernel class (lazily imported)."""
+    if mode == "fast":
+        from repro.sim.kernel import SynchronousKernel
+
+        return SynchronousKernel
+    if mode == "legacy":
+        from repro.sim.legacy import LegacyKernel
+
+        return LegacyKernel
+    raise ExperimentError(
+        f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+    )
+
+
+def faultplan_to_dict(plan: FaultPlan | None) -> dict | None:
+    """Serialize a :class:`FaultPlan` to plain JSON data (``None`` passes)."""
+    if plan is None:
+        return None
+    return {
+        "seed": plan.seed,
+        "drop_rate": plan.drop_rate,
+        "dup_rate": plan.dup_rate,
+        "link_loss": [[int(u), int(v), p] for (u, v), p in plan.link_loss],
+        "crashes": [
+            [node, start, end] for node, start, end in plan.crashes
+        ],
+    }
+
+
+def faultplan_from_dict(data: dict | None) -> FaultPlan | None:
+    """Inverse of :func:`faultplan_to_dict`."""
+    if data is None:
+        return None
+    try:
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            dup_rate=float(data.get("dup_rate", 0.0)),
+            link_loss=tuple(
+                ((int(u), int(v)), float(p)) for u, v, p in data.get("link_loss", ())
+            ),
+            crashes=tuple(
+                (node, start, end) for node, start, end in data.get("crashes", ())
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed fault plan payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative run request.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered algorithm label (see :mod:`repro.runspec.registry`).
+    n / seed:
+        Instance coordinates: the uniform point set is
+        ``uniform_points(n, seed=seed)`` via the shared per-process cache.
+    ghs_radius_const / eopt_c1 / eopt_c2 / eopt_beta:
+        The paper's experimental constants (Sec. VII); only the ones an
+        algorithm consumes matter to it.
+    rx_cost:
+        Optional constant reception cost (Sec. VIII extension).
+    kernel:
+        ``"fast"`` (default) or ``"legacy"`` — the frozen pre-optimization
+        reference kernel used by equivalence benchmarks.
+    planes:
+        Flood-plane fast path for HELLO/ANNOUNCE (bit-identical either way).
+    recover:
+        Enable the reliable-unicast recovery layer when faults are injected.
+    faults:
+        Optional seeded :class:`~repro.sim.faults.FaultPlan`.
+    perf / trace:
+        Instrumentation: when set, :func:`repro.runspec.engine.execute`
+        records an isolated perf/trace snapshot into the returned
+        :class:`~repro.runspec.report.RunReport`.
+    """
+
+    algorithm: str
+    n: int
+    seed: int = 0
+    ghs_radius_const: float = PAPER_GHS_RADIUS_CONST
+    eopt_c1: float = PAPER_EOPT_STEP1_CONST
+    eopt_c2: float = PAPER_GHS_RADIUS_CONST
+    eopt_beta: float = 1.0
+    rx_cost: float = 0.0
+    kernel: str = "fast"
+    planes: bool = True
+    recover: bool = True
+    faults: FaultPlan | None = field(default=None)
+    perf: bool = False
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ExperimentError("spec needs an algorithm label")
+        if self.n < 2:
+            raise ExperimentError(f"spec needs n >= 2, got {self.n}")
+        if self.kernel not in KERNEL_MODES:
+            raise ExperimentError(
+                f"unknown kernel mode {self.kernel!r}; expected one of {KERNEL_MODES}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ExperimentError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def cell(self) -> str:
+        """The sweep-cell key this spec occupies (trace source stamp)."""
+        return f"{self.algorithm}:n{self.n}:s{self.seed}"
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""
+        return replace(self, **changes)
+
+    # -- JSON round trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable payload (inverse: :meth:`from_dict`)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "run_spec",
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "seed": self.seed,
+            "ghs_radius_const": self.ghs_radius_const,
+            "eopt_c1": self.eopt_c1,
+            "eopt_c2": self.eopt_c2,
+            "eopt_beta": self.eopt_beta,
+            "rx_cost": self.rx_cost,
+            "kernel": self.kernel,
+            "planes": self.planes,
+            "recover": self.recover,
+            "faults": faultplan_to_dict(self.faults),
+            "perf": self.perf,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (strict: typos fail)."""
+        if not isinstance(data, dict):
+            raise ExperimentError(f"run spec payload must be an object, got {type(data).__name__}")
+        kind = data.get("kind", "run_spec")
+        if kind != "run_spec":
+            raise ExperimentError(f"not a run_spec payload: {kind!r}")
+        version = data.get("schema_version", data.get("schema", SCHEMA_VERSION))
+        if version != SCHEMA_VERSION:
+            raise ExperimentError(f"unsupported run_spec schema version {version!r}")
+        known = {f.name for f in fields(cls)}
+        payload = {
+            k: v for k, v in data.items() if k not in ("schema_version", "schema", "kind")
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"run_spec payload has unknown fields: {sorted(unknown)}"
+            )
+        if "algorithm" not in payload or "n" not in payload:
+            raise ExperimentError("run_spec payload needs 'algorithm' and 'n'")
+        payload["faults"] = faultplan_from_dict(payload.get("faults"))
+        return cls(**payload)
+
+    def to_json(self, *, indent: int | None = 1) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"run spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

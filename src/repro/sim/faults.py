@@ -39,8 +39,8 @@ to recover; see ``docs/protocols.md``.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 

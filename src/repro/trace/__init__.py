@@ -39,7 +39,13 @@ import json
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["TraceRegistry", "trace", "load_jsonl"]
+__all__ = [
+    "TraceRegistry",
+    "trace",
+    "load_jsonl",
+    "events_to_jsonl",
+    "export_events_jsonl",
+]
 
 
 def _copy_event(event: dict) -> dict:
@@ -126,16 +132,26 @@ class TraceRegistry:
 
     def to_jsonl(self) -> str:
         """The event stream as JSON Lines (one event object per line)."""
-        return "".join(
-            json.dumps(e, sort_keys=True, allow_nan=False) + "\n"
-            for e in self.events
-        )
+        return events_to_jsonl(self.events)
 
     def export_jsonl(self, path: str | Path) -> Path:
         """Write the stream to ``path`` as JSONL; returns the path."""
-        p = Path(path)
-        p.write_text(self.to_jsonl())
-        return p
+        return export_events_jsonl(self.events, path)
+
+
+def events_to_jsonl(events: Iterable[dict]) -> str:
+    """Any event list (a registry's, or one carried by a
+    :class:`~repro.runspec.report.RunReport`) as JSON Lines."""
+    return "".join(
+        json.dumps(e, sort_keys=True, allow_nan=False) + "\n" for e in events
+    )
+
+
+def export_events_jsonl(events: Iterable[dict], path: str | Path) -> Path:
+    """Write ``events`` to ``path`` as JSONL; returns the path."""
+    p = Path(path)
+    p.write_text(events_to_jsonl(events))
+    return p
 
 
 def load_jsonl(path: str | Path) -> list[dict]:

@@ -159,3 +159,70 @@ class TestTraceFlags:
         capsys.readouterr()
         assert main(["trace-diff", str(a), str(b)]) == 1
         assert "diverge at event" in capsys.readouterr().out
+
+
+class TestSpecFlags:
+    def test_emit_spec_writes_valid_json(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        argv = ["run", "MGHS", "-n", "100", "--seed", "2",
+                "--emit-spec", str(spec_path)]
+        assert main(argv) == 0
+        assert "spec written to" in capsys.readouterr().out
+        data = json.loads(spec_path.read_text())
+        assert data["kind"] == "run_spec"
+        assert data["schema_version"] == 1
+        assert data["algorithm"] == "MGHS"
+        assert data["n"] == 100 and data["seed"] == 2
+
+    def test_spec_run_matches_flag_run(self, capsys, tmp_path):
+        """`run --spec FILE` replays the emitted spec bit-identically:
+        the printed stats are byte-for-byte the flag run's output."""
+        spec_path = tmp_path / "spec.json"
+        argv = ["run", "EOPT", "-n", "120", "--seed", "3"]
+        assert main(argv + ["--emit-spec", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        flag_out = capsys.readouterr().out
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        spec_out = capsys.readouterr().out
+        assert spec_out == flag_out
+
+    def test_spec_file_with_faults_round_trips(self, capsys, tmp_path):
+        spec_path = tmp_path / "faulted.json"
+        assert main(["run", "MGHS", "-n", "100", "--drop-rate", "0.1",
+                     "--fault-seed", "1", "--emit-spec", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plane:" in out
+
+    def test_run_needs_algorithm_or_spec(self, capsys):
+        assert main(["run"]) == 2
+        assert "needs an algorithm label or --spec" in capsys.readouterr().err
+
+    def test_malformed_spec_file_errors(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "run_spec", "schema_version": 1, "nn": 5}')
+        with pytest.raises(ExperimentError, match="unknown fields"):
+            main(["run", "--spec", str(bad)])
+
+
+class TestAlgorithmsCommand:
+    def test_lists_every_registered_algorithm(self, capsys):
+        from repro.runspec import algorithm_names
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        assert "faults" in out and "summary" in out
+
+    def test_unknown_algorithm_error_lists_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "DIJKSTRA", "-n", "100"])
+        err = capsys.readouterr().err
+        assert "GHS" in err

@@ -7,11 +7,10 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.ascii_plot import ascii_grid, ascii_xy
-from repro.experiments.config import BENCH_NS, PAPER_NS, SMOKE_NS, SweepConfig
+from repro.experiments.config import BENCH_NS, PAPER_NS, SweepConfig
 from repro.experiments.figures import (
     fig1_percolation,
     fig2_potential,
-    fig3a_energy,
     fig3a_plot,
     fig3a_rows,
     fig3b_plot,

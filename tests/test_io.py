@@ -46,17 +46,24 @@ class TestSweepIO:
         path = save_sweep(sweep, tmp_path / "sweep.json")
         data = json.loads(path.read_text())
         assert data["kind"] == "energy_sweep"
-        assert data["schema"] == 1
+        assert data["schema_version"] == 1
 
     def test_wrong_kind_rejected(self):
         with pytest.raises(ExperimentError):
-            sweep_from_dict({"kind": "other", "schema": 1})
+            sweep_from_dict({"kind": "other", "schema_version": 1})
 
     def test_wrong_schema_rejected(self, sweep):
         data = sweep_to_dict(sweep)
-        data["schema"] = 99
+        data["schema_version"] = 99
         with pytest.raises(ExperimentError):
             sweep_from_dict(data)
+
+    def test_legacy_schema_key_accepted(self, sweep):
+        """Payloads written before the runspec layer used ``schema``."""
+        data = sweep_to_dict(sweep)
+        data["schema"] = data.pop("schema_version")
+        back = sweep_from_dict(data)
+        assert back.config == sweep.config
 
     def test_shape_mismatch_rejected(self, sweep):
         data = sweep_to_dict(sweep)

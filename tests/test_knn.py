@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import GeometryError
 from repro.geometry.points import uniform_points
-from repro.rgg.components import component_sizes, is_connected
+from repro.rgg.components import component_sizes
 from repro.rgg.knn import knn_equivalent_radius, knn_graph
 
 

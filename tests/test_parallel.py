@@ -167,3 +167,60 @@ class TestAtexitCleanup:
             [sys.executable, "-c", code], timeout=120, capture_output=True
         )
         assert proc.returncode == 0, proc.stderr.decode()
+
+
+class TestSerialFallback:
+    """Satellite regression: hosts that cannot spawn a process pool
+    (sandboxed CI) degrade to the serial backend with one warning."""
+
+    CFG = SweepConfig(ns=(50, 80), seeds=(0,), algorithms=("MGHS", "Co-NNT"))
+
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        from repro.runspec import engine as engine_mod
+
+        def no_pool(workers):
+            raise OSError("spawn blocked by sandbox")
+
+        shutdown()
+        monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        with pytest.warns(RuntimeWarning, match="falling back to the serial"):
+            degraded = sweep_energy_parallel(self.CFG, workers=2)
+        serial = sweep_energy(self.CFG)
+        for alg in self.CFG.algorithms:
+            assert np.array_equal(degraded.energy[alg], serial.energy[alg])
+            assert np.array_equal(degraded.messages[alg], serial.messages[alg])
+            assert np.array_equal(degraded.rounds[alg], serial.rounds[alg])
+
+    def test_fallback_warns_exactly_once(self, monkeypatch):
+        import warnings as warnings_mod
+
+        from repro.runspec import engine as engine_mod
+
+        def no_pool(workers):
+            raise NotImplementedError("no multiprocessing primitives")
+
+        shutdown()
+        monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            sweep_energy_parallel(self.CFG, workers=2)
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+
+    def test_worker_error_still_raises(self):
+        """A genuine per-run failure must NOT be silently retried serially."""
+        from repro.runspec import RunSpec, execute_batch
+        from repro.sim.faults import FaultPlan
+
+        # Rand-NNT rejects fault plans inside the worker; the dispatch
+        # error is an ExperimentError, which is not a pool failure.
+        bad = [
+            RunSpec(
+                algorithm="Rand-NNT",
+                n=50,
+                seed=0,
+                faults=FaultPlan(seed=0, drop_rate=0.5),
+            )
+        ]
+        with pytest.raises(ExperimentError, match="no fault-recovery layer"):
+            execute_batch(bad, backend="process", workers=1)
