@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint perf-smoke bench bench-planes chaos trace-smoke spec-smoke golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke golden-regen
 
 # Tier 1: lint gate plus the full unit/property suite (must stay green).
 verify: lint
@@ -20,6 +20,7 @@ lint:
 perf-smoke:
 	$(PY) benchmarks/bench_kernel_hotpath.py --quick
 	$(PY) benchmarks/bench_flood_planes.py --quick
+	$(PY) benchmarks/bench_scale.py --gate
 
 # Full kernel benchmark (n=2000, best-of-3).
 bench:
@@ -28,6 +29,13 @@ bench:
 # Full flood-plane benchmark (n=2000, best-of-3, >=3x flood-stage gate).
 bench-planes:
 	$(PY) benchmarks/bench_flood_planes.py
+
+# Turbo-backend scaling run: nodes/sec + peak RSS at n up to 10^6 through
+# the chunked instance layout, plus the >=10x turbo-vs-legacy gate.
+# Writes benchmarks/out/BENCH_scale.json.  The million-node cell takes
+# minutes; use `benchmarks/bench_scale.py --quick` for the n=10^4 cut.
+bench-scale:
+	$(PY) benchmarks/bench_scale.py
 
 # Fault-plane chaos gate: the chaos test suite plus the resilience
 # benchmark smoke (p=0 bit-identical, exact MST at every drop rate).
@@ -55,3 +63,4 @@ golden-regen:
 	$(PY) benchmarks/bench_kernel_hotpath.py --write-golden
 	$(PY) benchmarks/bench_flood_planes.py --write-golden
 	$(PY) benchmarks/bench_spec_smoke.py --write-golden
+	$(PY) benchmarks/bench_scale.py --quick --write-golden

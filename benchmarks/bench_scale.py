@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Turbo-backend scaling benchmark: nodes/sec and peak RSS vs n.
+
+Runs modified GHS through the turbo kernel (whole-round array programs)
+at n in {10^4, 10^5, 10^6}, recording wall time, throughput in nodes/sec,
+round counts and the peak-RSS counter sampled at round boundaries by
+``repro.perf``.  The million-node instance is built through the
+layout-aware instance cache with the turbo backend's ``chunked`` CSR
+layout (memmap spill past the threshold), which is what lets it fit.
+
+Three gates, each fatal:
+
+* **equivalence** — turbo must be bit-identical to the fast kernel
+  (energy / messages / rounds) at the small-n config, with trace-diff
+  triage printed on divergence (exit 2);
+* **golden stats** — the n=10^4 turbo stats must match
+  ``benchmarks/golden/scale.json`` (exit 1 on divergence);
+* **speedup** (``--gate`` or full mode) — turbo must be >= 10x the
+  frozen legacy kernel on MGHS n=2000 (exit 3 below the bar).
+
+Usage::
+
+    python benchmarks/bench_scale.py --quick    # n=10^4 + gates
+    python benchmarks/bench_scale.py            # full: up to n=10^6
+    python benchmarks/bench_scale.py --gate     # perf-smoke speedup gate
+    python benchmarks/bench_scale.py --write-golden
+
+Not a pytest file on purpose: the make targets call it directly so the
+exit codes gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.geometry.radius import (  # noqa: E402
+    PAPER_GHS_RADIUS_CONST,
+    connectivity_radius,
+)
+from repro.perf import PEAK_RSS_COUNTER  # noqa: E402
+from repro.runspec import RunSpec, execute  # noqa: E402
+from repro.sim import kernel_layout  # noqa: E402
+
+GOLDEN_PATH = REPO / "benchmarks" / "golden" / "scale.json"
+OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_scale.json"
+
+SEED = 7
+QUICK_NS = [10_000]
+FULL_NS = [10_000, 100_000, 1_000_000]
+#: Speedup bar for the MGHS n=2000 turbo-vs-legacy gate.
+SPEEDUP_BAR = 10.0
+GATE_N = 2000
+#: Small-n config for the bit-identical turbo-vs-fast equivalence gate.
+EQUIV_N = 600
+
+
+def _stats_record(report) -> dict:
+    res = report.result
+    return {
+        "energy_total": res.stats.energy_total,
+        "messages_total": int(res.stats.messages_total),
+        "rounds": int(res.stats.rounds),
+        "n_tree_edges": int(len(res.tree_edges)),
+    }
+
+
+def _run(n: int, *, kernel: str = "turbo", **flags):
+    spec = RunSpec(algorithm="MGHS", n=n, seed=SEED, kernel=kernel, **flags)
+    t0 = time.perf_counter()
+    report = execute(spec)
+    return report, time.perf_counter() - t0
+
+
+def equivalence_gate() -> str | None:
+    """Turbo vs fast at small n: bit-identical or a trace-diff triage."""
+    fast, _ = _run(EQUIV_N, kernel="fast")
+    turbo, _ = _run(EQUIV_N, kernel="turbo")
+    if _stats_record(fast) == _stats_record(turbo):
+        return None
+    from repro.trace.diff import diff_traces, format_divergence
+
+    streams = []
+    for kernel in ("fast", "turbo"):
+        rep, _ = _run(EQUIV_N, kernel=kernel, trace=True)
+        streams.append(rep.trace)
+    return (
+        f"turbo diverged from fast at MGHS n={EQUIV_N} seed={SEED}: "
+        f"{_stats_record(turbo)} != {_stats_record(fast)}\n"
+        + format_divergence(diff_traces(*streams), "fast", "turbo")
+    )
+
+
+def speedup_gate(reps: int) -> dict:
+    """MGHS n=2000 turbo vs the frozen legacy kernel, best-of-``reps``."""
+    _run(GATE_N, kernel="legacy")  # warm
+    _run(GATE_N, kernel="turbo")
+    legacy_times, turbo_times = [], []
+    legacy_rep = turbo_rep = None
+    for _ in range(reps):
+        legacy_rep, dt = _run(GATE_N, kernel="legacy")
+        legacy_times.append(dt)
+        turbo_rep, dt = _run(GATE_N, kernel="turbo")
+        turbo_times.append(dt)
+    legacy_s, turbo_s = min(legacy_times), min(turbo_times)
+    return {
+        "n": GATE_N,
+        "legacy_s": round(legacy_s, 4),
+        "turbo_s": round(turbo_s, 4),
+        "speedup": round(legacy_s / turbo_s, 2),
+        "bar": SPEEDUP_BAR,
+        "stats_identical": _stats_record(legacy_rep) == _stats_record(turbo_rep),
+    }
+
+
+def scale_row(n: int) -> dict:
+    """Build the chunked instance, run MGHS on turbo, record throughput."""
+    from repro.experiments.instances import get_graph
+
+    layout = kernel_layout("turbo")
+    r = connectivity_radius(n, PAPER_GHS_RADIUS_CONST)
+    t0 = time.perf_counter()
+    g = get_graph(n, SEED, r, layout=layout)
+    build_s = time.perf_counter() - t0
+    m = int(g.m)
+    report, run_s = _run(n, perf=True)
+    counters = report.perf["counters"]
+    row = {
+        "n": n,
+        "radius": r,
+        "layout": layout,
+        "edges": m,
+        "build_s": round(build_s, 3),
+        "run_s": round(run_s, 3),
+        "nodes_per_s": round(n / run_s, 1),
+        "peak_rss_bytes": int(counters.get(PEAK_RSS_COUNTER, 0)),
+        "engine_rounds": int(counters.get("kernel.turbo_engine_rounds", 0)),
+        "stats": _stats_record(report),
+    }
+    print(
+        f"n={n:8d}  build {row['build_s']:8.2f}s  run {row['run_s']:8.2f}s  "
+        f"{row['nodes_per_s']:10,.0f} nodes/s  "
+        f"peak RSS {row['peak_rss_bytes'] / 2**20:8.0f} MiB"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="n=10^4 only")
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="speedup + equivalence gates only (perf-smoke)",
+    )
+    ap.add_argument("--reps", type=int, default=3, help="gate timing reps")
+    ap.add_argument(
+        "--write-golden",
+        action="store_true",
+        help="(re)write the golden stats snapshot instead of checking it",
+    )
+    args = ap.parse_args(argv)
+    if args.reps < 1:
+        ap.error(f"--reps must be >= 1, got {args.reps}")
+
+    failure = equivalence_gate()
+    if failure is not None:
+        print("FATAL:", failure, file=sys.stderr)
+        return 2
+
+    gate = speedup_gate(args.reps)
+    print(
+        f"gate: MGHS n={GATE_N}  legacy {gate['legacy_s']:.3f}s  "
+        f"turbo {gate['turbo_s']:.3f}s  speedup {gate['speedup']:.2f}x "
+        f"(bar {SPEEDUP_BAR:.0f}x)"
+    )
+    if not gate["stats_identical"]:
+        print("FATAL: turbo diverged from legacy at the gate config", file=sys.stderr)
+        return 2
+    if gate["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FATAL: speedup {gate['speedup']:.2f}x below the "
+            f"{SPEEDUP_BAR:.0f}x bar",
+            file=sys.stderr,
+        )
+        return 3
+
+    rows = []
+    if not args.gate:
+        for n in QUICK_NS if args.quick else FULL_NS:
+            rows.append(scale_row(n))
+        golden = {f"MGHS:{r['n']}:{SEED}": r["stats"] for r in rows if r["n"] <= 10_000}
+        if args.write_golden:
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            merged = json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+            merged.update(golden)
+            GOLDEN_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+            print(f"golden written to {GOLDEN_PATH}")
+        elif GOLDEN_PATH.exists():
+            expected = json.loads(GOLDEN_PATH.read_text())
+            for key, stats in golden.items():
+                if key in expected and expected[key] != stats:
+                    print(
+                        f"FATAL: golden divergence for {key}: got {stats}, "
+                        f"expected {expected[key]}",
+                        file=sys.stderr,
+                    )
+                    return 1
+        else:
+            print(f"warning: no golden snapshot at {GOLDEN_PATH}; run --write-golden")
+
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    if args.gate and OUT_PATH.exists():
+        # Gate-only runs refresh the timing gate without discarding the
+        # scale rows a previous full run measured.
+        try:
+            prior = json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            prior = {}
+        rows = prior.get("scale", rows)
+        args.quick = prior.get("quick", args.quick)
+    OUT_PATH.write_text(
+        json.dumps(
+            {"quick": args.quick, "gate": gate, "scale": rows},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"results written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -340,6 +340,17 @@ def run_ghs_phases(
         # Fragments at least halve every phase; the slack covers step-2
         # restarts and absorb-only phases.
         max_phases = 2 * int(math.log2(n)) + 20
+    if recovery is None:
+        # Turbo kernels run eligible configurations (modified mode, flood
+        # planes live, no faults) as whole-round array programs — an
+        # observational clone of the loop below (see ghs/turbo.py).
+        from repro.algorithms.ghs.turbo import run_phases_turbo
+
+        ran = run_phases_turbo(
+            kernel, nodes, start_phase=start_phase, max_phases=max_phases
+        )
+        if ran is not None:
+            return ran
     phase = start_phase - 1
     executed = 0
     fp = kernel.faults

@@ -265,7 +265,10 @@ class GHSNode(NodeProcess):
         self.fid = self.id  # a fragment is identified by its leader's id
         self._reset_phase(phase)
         self.parent = None
-        self.children = tuple(self.tree_edges)
+        # Sorted, not set order: the send sequence must be a pure function
+        # of protocol state so the turbo engine's array programs can
+        # reproduce it (set iteration order is an implementation detail).
+        self.children = tuple(sorted(self.tree_edges))
         self._maybe_announce(changed)
         for c in self.children:
             self._send(c, "INITIATE", self.fid, phase)
@@ -285,7 +288,7 @@ class GHSNode(NodeProcess):
         self.passive = True
         self.is_giant = True
         self.halted = True
-        for e in self.tree_edges:
+        for e in sorted(self.tree_edges):
             self._send(e, "GIANT")
 
     # --------------------------------------------------------- message hooks
@@ -374,7 +377,9 @@ class GHSNode(NodeProcess):
         self.fid = fid
         self._reset_phase(phase)
         self.parent = src
-        self.children = tuple(e for e in self.tree_edges if e != src)
+        # Sorted for the same reason as _wake_initiate: deterministic
+        # send order independent of set iteration order.
+        self.children = tuple(sorted(e for e in self.tree_edges if e != src))
         self._maybe_announce(changed)
         for c in self.children:
             self._send(c, "INITIATE", fid, phase)
@@ -529,7 +534,7 @@ class GHSNode(NodeProcess):
         self.leader = False
         self.halted = True
         self._maybe_announce(True)  # "small fragments change their ids"
-        for e in self.tree_edges:
+        for e in sorted(self.tree_edges):
             if e != src:
                 self._send(e, "ABSORB", fid)
 
@@ -559,6 +564,6 @@ class GHSNode(NodeProcess):
         self.passive = True
         self.is_giant = True
         self.leader = False
-        for e in self.tree_edges:
+        for e in sorted(self.tree_edges):
             if e != src:
                 self._send(e, "GIANT")

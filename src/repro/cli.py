@@ -7,6 +7,8 @@ Gives downstream users the paper's experiments without writing code:
   :func:`repro.runspec.engine.execute`; ``--spec``/``--emit-spec``
   round-trip the spec as JSON);
 * ``algorithms`` — the registered algorithm labels and capabilities;
+* ``kernels``    — the registered kernel backends (see
+  :mod:`repro.sim.backends`);
 * ``fig3a`` / ``fig3b`` — the energy sweep and the slope fits;
 * ``fig1`` / ``fig2``   — percolation picture / potential-region lemmas;
 * ``tab1``   — the Co-NNT vs MST quality comparison;
@@ -143,7 +145,23 @@ def _cmd_algorithms(args) -> int:
         )
         for e in algorithm_entries()
     ]
-    print(format_table(["algorithm", "faults", "legacy kernel", "summary"], rows))
+    print(format_table(["algorithm", "faults", "alt kernels", "summary"], rows))
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro.sim.backends import kernel_entries
+
+    rows = [
+        (
+            e.name,
+            "yes" if e.reference else "no",
+            e.instance_layout,
+            e.summary,
+        )
+        for e in kernel_entries()
+    ]
+    print(format_table(["kernel", "reference", "layout", "summary"], rows))
     return 0
 
 
@@ -367,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithms", help="list the registered algorithms and capabilities"
     )
     algs.set_defaults(func=_cmd_algorithms)
+
+    kerns = sub.add_parser(
+        "kernels", help="list the registered kernel backends"
+    )
+    kerns.set_defaults(func=_cmd_kernels)
 
     f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")
     f3a.add_argument("--max-n", type=int, default=2000)

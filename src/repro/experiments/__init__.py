@@ -17,7 +17,7 @@ paper's numbers verbatim.
 """
 
 from repro.experiments.config import SweepConfig, PAPER_NS, SMOKE_NS, BENCH_NS
-from repro.experiments.instances import get_points, cache_info, clear_cache
+from repro.experiments.instances import get_points, get_graph, cache_info, clear_cache
 from repro.experiments.runner import run_algorithm, sweep_energy, EnergySweep
 from repro.experiments.parallel import sweep_energy_parallel
 from repro.experiments.figures import (
@@ -40,6 +40,7 @@ __all__ = [
     "sweep_energy_parallel",
     "EnergySweep",
     "get_points",
+    "get_graph",
     "cache_info",
     "clear_cache",
     "fig1_percolation",

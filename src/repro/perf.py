@@ -21,8 +21,23 @@ so ``--perf`` on a parallel sweep reports the whole sweep.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 from typing import Any
+
+#: Counter holding the high-water-mark resident set size in bytes.
+#: It is a *level*, not an event count: :meth:`PerfRegistry.sample_rss`
+#: and :meth:`PerfRegistry.merge` combine it with ``max``, never ``+``.
+PEAK_RSS_COUNTER = "mem.peak_rss_bytes"
+
+#: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_SCALE
 
 
 class _Timed:
@@ -119,6 +134,21 @@ class PerfRegistry:
             return
         self.counters[name] = self.counters.get(name, 0) + value
 
+    def sample_rss(self) -> None:
+        """Record the current peak RSS under :data:`PEAK_RSS_COUNTER`.
+
+        Sampled at round boundaries by the kernels (one ``getrusage``
+        call per round, behind the same ``if perf.enabled`` guard as the
+        round counters — the zero-cost-when-off contract holds).  The
+        counter keeps the maximum seen, so sampling is idempotent and
+        order-free.
+        """
+        if not self.enabled:
+            return
+        rss = peak_rss_bytes()
+        if rss > self.counters.get(PEAK_RSS_COUNTER, 0):
+            self.counters[PEAK_RSS_COUNTER] = rss
+
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` from elsewhere (a worker process) into
         this registry.
@@ -136,6 +166,12 @@ class PerfRegistry:
                 mine[0] += cell["total_s"]
                 mine[1] += cell["calls"]
         for name, count in snapshot.get("counters", {}).items():
+            if name == PEAK_RSS_COUNTER:
+                # A high-water mark, not an event count: the merged peak
+                # is the max across processes, not their sum.
+                if count > self.counters.get(name, 0):
+                    self.counters[name] = count
+                continue
             self.counters[name] = self.counters.get(name, 0) + count
 
     # -- reading ------------------------------------------------------------

@@ -58,7 +58,7 @@ def dispatch(entry: AlgorithmEntry, points, spec: RunSpec):
     if spec.kernel != "fast" and not entry.supports_kernel_mode:
         raise ExperimentError(
             f"{entry.name} does not support kernel={spec.kernel!r}; "
-            f"only the GHS family runs on the legacy reference kernel"
+            f"only the GHS family accepts alternate kernel backends"
         )
     if (
         spec.faults is not None

@@ -39,9 +39,63 @@ __all__ = [
 #: Schema stamp written into every spec / report / sweep JSON payload.
 SCHEMA_VERSION = 1
 
-#: Accepted kernel implementations: the optimized hot path and the frozen
-#: pre-optimization reference (benchmarks only).
-KERNEL_MODES = ("fast", "legacy")
+
+def _kernel_modes() -> tuple[str, ...]:
+    """Registered kernel modes (lazy: the registry imports kernel modules)."""
+    from repro.sim.backends import kernel_names
+
+    return kernel_names()
+
+
+class _KernelModes(tuple):
+    """A tuple view over the kernel registry, resolved on first use.
+
+    ``KERNEL_MODES`` predates the registry and is imported by the CLI and
+    external callers as a plain tuple (argparse choices, membership
+    tests).  Keeping the name while sourcing it from
+    :mod:`repro.sim.backends` needs one indirection: this subclass defers
+    the registry import until the tuple is actually *used*, so importing
+    :mod:`repro.runspec.spec` stays cheap.
+    """
+
+    _resolved: tuple[str, ...] | None = None
+
+    @classmethod
+    def _get(cls) -> tuple[str, ...]:
+        if cls._resolved is None:
+            cls._resolved = _kernel_modes()
+        return cls._resolved
+
+    def __iter__(self):
+        return iter(self._get())
+
+    def __len__(self):
+        return len(self._get())
+
+    def __getitem__(self, i):
+        return self._get()[i]
+
+    def __contains__(self, item):
+        return item in self._get()
+
+    def __eq__(self, other):
+        return self._get() == other
+
+    def __ne__(self, other):
+        return self._get() != other
+
+    def __hash__(self):
+        return hash(self._get())
+
+    def __repr__(self):
+        return repr(self._get())
+
+
+#: Accepted kernel implementations, in registry order: the optimized hot
+#: path, the frozen pre-optimization reference (benchmarks only) and the
+#: whole-round vectorized turbo backend.  Sourced from the kernel-backend
+#: registry (:mod:`repro.sim.backends`); resolves lazily on first use.
+KERNEL_MODES = _KernelModes()
 
 
 def jsonable(obj: Any) -> Any:
@@ -75,18 +129,14 @@ def _json_key(key: Any) -> Any:
 
 
 def kernel_class(mode: str):
-    """Resolve a kernel-mode label to the kernel class (lazily imported)."""
-    if mode == "fast":
-        from repro.sim.kernel import SynchronousKernel
+    """Resolve a kernel-mode label via the kernel-backend registry.
 
-        return SynchronousKernel
-    if mode == "legacy":
-        from repro.sim.legacy import LegacyKernel
+    Kept as a public re-export (callers predate the registry); unknown
+    labels raise with the registered names listed.
+    """
+    from repro.sim.backends import kernel_class as _kernel_class
 
-        return LegacyKernel
-    raise ExperimentError(
-        f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
-    )
+    return _kernel_class(mode)
 
 
 def faultplan_to_dict(plan: FaultPlan | None) -> dict | None:
@@ -141,8 +191,9 @@ class RunSpec:
     rx_cost:
         Optional constant reception cost (Sec. VIII extension).
     kernel:
-        ``"fast"`` (default) or ``"legacy"`` — the frozen pre-optimization
-        reference kernel used by equivalence benchmarks.
+        A registered kernel mode: ``"fast"`` (default), ``"legacy"`` (the
+        frozen pre-optimization reference used by equivalence benchmarks)
+        or ``"turbo"`` (whole-round vectorized execution).
     planes:
         Flood-plane fast path for HELLO/ANNOUNCE (bit-identical either way).
     recover:
@@ -177,7 +228,8 @@ class RunSpec:
             raise ExperimentError(f"spec needs n >= 2, got {self.n}")
         if self.kernel not in KERNEL_MODES:
             raise ExperimentError(
-                f"unknown kernel mode {self.kernel!r}; expected one of {KERNEL_MODES}"
+                f"unknown kernel mode {self.kernel!r}; registered kernels: "
+                + ", ".join(KERNEL_MODES)
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ExperimentError(

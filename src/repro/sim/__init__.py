@@ -28,8 +28,26 @@ from repro.sim.node import NodeProcess
 from repro.sim.faults import FaultPlan, FaultPlane, RetryBuffer
 from repro.sim.kernel import SynchronousKernel, Context
 from repro.sim.legacy import LegacyKernel
+from repro.sim.turbo import TurboKernel
+from repro.sim.backends import (
+    KernelEntry,
+    get_kernel,
+    kernel_class,
+    kernel_entries,
+    kernel_layout,
+    kernel_names,
+    register_kernel,
+)
 
 __all__ = [
+    "KernelEntry",
+    "TurboKernel",
+    "get_kernel",
+    "kernel_class",
+    "kernel_entries",
+    "kernel_layout",
+    "kernel_names",
+    "register_kernel",
     "PathLossModel",
     "Message",
     "EnergyLedger",

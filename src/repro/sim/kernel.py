@@ -144,7 +144,12 @@ class _NeighborTable:
     cutoffs need the float64 array; broadcast descriptors keep views into
     both).  ``ids_list``/``dists_list`` mirror them as plain Python lists
     so the per-source ``{neighbor: distance}`` dicts (``dist_of``, built
-    lazily on a node's first unicast) hold native ints and floats.
+    lazily on a node's first unicast) hold native ints and floats.  The
+    mirrors are built lazily: at n=10^6 an RGG table holds ~10^8 entries
+    and the eager ``tolist()`` copies alone cost multiple GB, while the
+    only consumer of the full mirrors is the legacy kernel's flat
+    broadcast path (``tolist`` of a float64/intp array yields the same
+    native values either way, so laziness is unobservable).
     """
 
     __slots__ = (
@@ -153,8 +158,8 @@ class _NeighborTable:
         "indptr_arr",
         "ids",
         "dists",
-        "ids_list",
-        "dists_list",
+        "_ids_list",
+        "_dists_list",
         "dist_of",
         "_rev",
     )
@@ -171,10 +176,26 @@ class _NeighborTable:
         self.indptr_arr = np.asarray(indptr, dtype=np.intp)
         self.ids = ids
         self.dists = dists
-        self.ids_list = ids.tolist()
-        self.dists_list = dists.tolist()
+        self._ids_list: list[int] | None = None
+        self._dists_list: list[float] | None = None
         self.dist_of: list[dict[int, float] | None] = [None] * (len(indptr) - 1)
         self._rev: np.ndarray | None = None
+
+    @property
+    def ids_list(self) -> list[int]:
+        """Native-int mirror of ``ids`` (lazy; legacy flat path only)."""
+        m = self._ids_list
+        if m is None:
+            m = self._ids_list = self.ids.tolist()
+        return m
+
+    @property
+    def dists_list(self) -> list[float]:
+        """Native-float mirror of ``dists`` (lazy; legacy flat path only)."""
+        m = self._dists_list
+        if m is None:
+            m = self._dists_list = self.dists.tolist()
+        return m
 
     @property
     def rev(self) -> np.ndarray:
@@ -207,7 +228,9 @@ class _NeighborTable:
         m = self.dist_of[src]
         if m is None:
             s, e = self.indptr[src], self.indptr[src + 1]
-            m = dict(zip(self.ids_list[s:e], self.dists_list[s:e]))
+            # Row-sized tolist() slices: identical native values to the
+            # full mirrors without materializing them.
+            m = dict(zip(self.ids[s:e].tolist(), self.dists[s:e].tolist()))
             self.dist_of[src] = m
         return m
 
@@ -410,7 +433,7 @@ class SynchronousKernel:
             table = _NeighborTable(r, indptr, dst, dist)
         if perf.enabled:
             perf.add("kernel.nbr_table_builds")
-            perf.add("kernel.nbr_table_entries", len(table.ids_list))
+            perf.add("kernel.nbr_table_entries", len(table.ids))
         return table
 
     def _table(self) -> "_NeighborTable | None":
@@ -870,6 +893,7 @@ class SynchronousKernel:
             if perf.enabled:
                 perf.add("kernel.rounds")
                 perf.add("kernel.deliveries", delivered)
+                perf.sample_rss()
             if trace.enabled:
                 self._trace_round()
             return delivered
@@ -962,6 +986,7 @@ class SynchronousKernel:
         if perf.enabled:
             perf.add("kernel.rounds")
             perf.add("kernel.deliveries", delivered)
+            perf.sample_rss()
         if trace.enabled:
             self._trace_round()
         return delivered
@@ -1034,3 +1059,15 @@ class SynchronousKernel:
         """Snapshot of the energy ledger and round count."""
         self._flush_charges()
         return self._ledger.snapshot(self.rounds)
+
+
+# Self-registration in the kernel-backend registry (repro.sim.backends):
+# "fast" is the default mode every spec resolves to.
+from repro.sim.backends import register_kernel as _register_kernel  # noqa: E402
+
+_register_kernel(
+    "fast",
+    cls=SynchronousKernel,
+    order=0,
+    summary="vectorized per-message hot path with flood planes (default)",
+)

@@ -64,3 +64,15 @@ class LegacyKernel(SynchronousKernel):
         if not self._pending:
             return 0
         return self._step_flat()
+
+
+# Self-registration in the kernel-backend registry (repro.sim.backends).
+from repro.sim.backends import register_kernel as _register_kernel  # noqa: E402
+
+_register_kernel(
+    "legacy",
+    cls=LegacyKernel,
+    order=1,
+    summary="frozen pre-optimization reference (equivalence baseline)",
+    reference=True,
+)

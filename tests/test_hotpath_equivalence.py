@@ -29,7 +29,8 @@ from repro.algorithms.eopt import run_eopt
 from repro.algorithms.ghs import run_ghs, run_modified_ghs
 from repro.geometry.points import uniform_points
 from repro.perf import perf
-from repro.sim import LegacyKernel, NodeProcess, SynchronousKernel
+from repro.sim import LegacyKernel, NodeProcess, SynchronousKernel, kernel_class, kernel_names
+from repro.sim.faults import FaultPlan
 
 
 def _assert_breakdown_close(new: dict, old: dict):
@@ -82,6 +83,33 @@ def test_algorithms_bit_identical(runner, n, seed):
     # batched breakdowns are bit-identical between them (not just close).
     assert new.stats.energy_by_kind == off.stats.energy_by_kind
     assert new.stats.energy_by_stage == off.stats.energy_by_stage
+
+
+@pytest.mark.parametrize("faulty", [False, True], ids=["clean", "faults"])
+@pytest.mark.parametrize("planes", [True, False], ids=["planes", "noplanes"])
+@pytest.mark.parametrize("mode", [m for m in kernel_names() if m != "legacy"])
+def test_registered_backends_match_reference(mode, planes, faulty):
+    """Every registered backend honors the observational contract against
+    the frozen legacy reference, across the planes x faults matrix.  The
+    turbo backend's whole-round engine must demonstrably engage on its
+    eligible combination (planes on, no faults) — a silently disengaged
+    engine would pin nothing."""
+    pts = uniform_points(250, seed=1)
+    kwargs = {"planes": planes}
+    if faulty:
+        kwargs["faults"] = FaultPlan(seed=7, drop_rate=0.05)
+    ref = run_modified_ghs(pts, kernel_cls=LegacyKernel, **kwargs)
+    perf.reset()
+    perf.enable()
+    try:
+        res = run_modified_ghs(pts, kernel_cls=kernel_class(mode), **kwargs)
+        engine_rounds = perf.counters.get("kernel.turbo_engine_rounds", 0)
+    finally:
+        perf.disable()
+        perf.reset()
+    _assert_same_result(ref, res)
+    if mode == "turbo" and planes and not faulty:
+        assert engine_rounds > 0
 
 
 def test_trace_streams_identical_with_triage_on_failure():

@@ -101,7 +101,7 @@ class TestRunSpecRoundTrip:
         with pytest.raises(ExperimentError):
             RunSpec(algorithm="GHS", n=1)
         with pytest.raises(ExperimentError):
-            RunSpec(algorithm="GHS", n=50, kernel="turbo")
+            RunSpec(algorithm="GHS", n=50, kernel="warp9")
         with pytest.raises(ExperimentError):
             RunSpec(algorithm="GHS", n=50, faults={"drop_rate": 0.1})
 
@@ -115,8 +115,11 @@ class TestRunSpecRoundTrip:
     def test_kernel_class_resolution(self):
         assert kernel_class("fast") is SynchronousKernel
         assert kernel_class("legacy") is LegacyKernel
+        from repro.sim import TurboKernel
+
+        assert kernel_class("turbo") is TurboKernel
         with pytest.raises(ExperimentError):
-            kernel_class("turbo")
+            kernel_class("warp9")
 
 
 class TestRegistry:
