@@ -3,11 +3,13 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke golden-regen
 
-# Tier 1: lint gate plus the full unit/property suite (must stay green).
+# Tier 1: lint gate plus the full unit/property suite (must stay green),
+# plus the run-cache smoke so a cache regression cannot land silently.
 verify: lint
 	$(PY) -m pytest -x -q
+	$(PY) benchmarks/bench_run_cache.py --quick
 
 # Lint: ruff (configured in pyproject.toml) when installed, an AST
 # fallback (syntax errors + unused imports) otherwise.
@@ -56,6 +58,13 @@ trace-smoke:
 spec-smoke:
 	$(PY) benchmarks/bench_spec_smoke.py
 
+# Run-cache smoke: duplicated sweep through the process backend against
+# a throwaway store — cold/warm timing (>=20x warm gate), byte-identity
+# of cached vs fresh reports, per-worker RSS with and without the SHM
+# fabric.  Writes benchmarks/out/BENCH_cache.json.  See docs/performance.md.
+cache-smoke:
+	$(PY) benchmarks/bench_run_cache.py --quick
+
 # Rebuild the golden stats snapshots deliberately (full configs).  The
 # goldens gate the benchmarks above; never hand-edit the JSON — rerun
 # this after an *intentional* semantics change and review the diff.
@@ -64,3 +73,4 @@ golden-regen:
 	$(PY) benchmarks/bench_flood_planes.py --write-golden
 	$(PY) benchmarks/bench_spec_smoke.py --write-golden
 	$(PY) benchmarks/bench_scale.py --quick --write-golden
+	$(PY) benchmarks/bench_run_cache.py --quick --write-golden

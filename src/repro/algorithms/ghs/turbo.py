@@ -63,6 +63,7 @@ from repro.errors import ProtocolError
 from repro.algorithms.ghs.node import GHSNode
 from repro.perf import perf
 from repro.sim.kernel import concat_ranges as _concat_ranges
+from repro.sim.turbo import seq_energy_accumulate
 from repro.trace import trace
 
 __all__ = ["turbo_phase_engine", "run_phases_turbo", "TurboPhaseEngine"]
@@ -373,9 +374,7 @@ class TurboPhaseEngine:
         _, _, _, node, kind, dist, dst, pf, p1, p2 = cols
         k = len(node)
         energies = self.pw.energy_array(dist)
-        led.energy_total = float(
-            np.add.accumulate(np.concatenate(([led.energy_total], energies)))[-1]
-        )
+        led.energy_total = seq_energy_accumulate(led.energy_total, energies)
         led.messages_total += k
         np.add.at(led.energy_by_node, node, energies)
         counts = np.bincount(kind, minlength=6)

@@ -99,9 +99,19 @@ def _cmd_run(args) -> int:
         out = Path(args.emit_spec)
         out.write_text(spec.to_json())
         print(f"spec written to {out}")
+        print(f"spec_hash: {spec.spec_hash()}")
         return 0
 
-    report = execute(spec)
+    store = None
+    if args.cache or args.cache_path:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.cache_path)
+        hits_before = store.stats()["hits"]
+    report = execute(spec, store=store)
+    if store is not None:
+        outcome = "hit" if store.stats()["hits"] > hits_before else "miss (stored)"
+        print(f"cache: {outcome}  key={spec.result_key()[:16]}  {store.path}")
     res = report.result
     print(res.summary())
     print("\nper message kind:")
@@ -162,6 +172,32 @@ def _cmd_kernels(args) -> int:
         for e in kernel_entries()
     ]
     print(format_table(["kernel", "reference", "layout", "summary"], rows))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import ResultStore
+
+    with ResultStore(args.store) as store:
+        if args.action == "prune":
+            evicted = store.prune(args.max_bytes)
+            print(f"pruned {evicted} entries from {store.path}")
+        elif args.action == "clear":
+            dropped = store.clear()
+            print(f"cleared {dropped} entries from {store.path}")
+        s = store.stats()
+        rows = [(k, str(v)) for k, v in s.items()]
+        print(format_table(["stat", "value"], rows))
+        if args.action == "stats":
+            entries = store.entry_rows()
+            if entries:
+                print("\nnewest entries:")
+                print(
+                    format_table(
+                        ["key", "algorithm", "n", "bytes"],
+                        [(k[:16], a, n, b) for k, a, n, b in entries],
+                    )
+                )
     return 0
 
 
@@ -343,6 +379,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the assembled RunSpec JSON to FILE and exit "
         "without running",
     )
+    run.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize through the persistent result store (default "
+        "location: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    run.add_argument(
+        "--cache-path",
+        metavar="FILE.sqlite",
+        help="result-store database to use (implies --cache)",
+    )
     run.add_argument("--perf", action="store_true", help=perf_help)
     run.add_argument(
         "--trace",
@@ -390,6 +437,29 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels", help="list the registered kernel backends"
     )
     kerns.set_defaults(func=_cmd_kernels)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result store"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "prune", "clear"),
+        help="stats = counters and newest entries; prune = evict LRU "
+        "entries past the byte bound; clear = drop every entry",
+    )
+    cache.add_argument(
+        "--store",
+        metavar="FILE.sqlite",
+        help="result-store database (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte bound for prune (default: the store's configured bound)",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     f3a = sub.add_parser("fig3a", help="energy-vs-n sweep (Fig. 3a)")
     f3a.add_argument("--max-n", type=int, default=2000)

@@ -17,7 +17,14 @@ paper's numbers verbatim.
 """
 
 from repro.experiments.config import SweepConfig, PAPER_NS, SMOKE_NS, BENCH_NS
-from repro.experiments.instances import get_points, get_graph, cache_info, clear_cache
+from repro.experiments.instances import (
+    adopt_points,
+    cache_info,
+    clear_cache,
+    evict_points,
+    get_graph,
+    get_points,
+)
 from repro.experiments.runner import run_algorithm, sweep_energy, EnergySweep
 from repro.experiments.parallel import sweep_energy_parallel
 from repro.experiments.figures import (
@@ -41,6 +48,8 @@ __all__ = [
     "EnergySweep",
     "get_points",
     "get_graph",
+    "adopt_points",
+    "evict_points",
     "cache_info",
     "clear_cache",
     "fig1_percolation",

@@ -11,18 +11,41 @@ that used to be duplicated between ``cli.py`` and
 is saved and restored, so a spec-managed run can record its own snapshot
 inside a larger instrumented session without clobbering it.
 
+Passing a :class:`~repro.store.ResultStore` memoizes: a spec whose
+result key (:meth:`RunSpec.result_key` — the content hash minus the
+perf/trace switches) is already stored returns the persisted report
+without running anything, and a fresh run is written back.  Every run is
+deterministic, so the cached payload is byte-for-byte what the run would
+have produced (pinned by ``tests/test_store.py`` and the
+``bench_run_cache`` golden gate).
+
 :func:`execute_batch` is the one fan-out path.  ``backend="serial"``
 executes in-process; ``backend="process"`` ships each spec to a worker as
 its serialized dict (small, self-describing task payloads — the worker
 re-derives the instance from the seed) and returns the reports in spec
-order.  One :class:`~concurrent.futures.ProcessPoolExecutor` stays alive
-at module level across batches (spawning workers pays interpreter
-start-up and a cold instance cache otherwise); :func:`shutdown` tears it
-down, and an ``atexit`` hook reaps it at interpreter exit.  When the
-host cannot spawn a process pool at all (sandboxed CI, locked-down
-containers), the batch degrades to the serial backend with a single
-:class:`RuntimeWarning` instead of raising — every cell is deterministic,
-so the results are identical, only slower.
+order.  Three batch-level optimizations sit in front of the fan-out:
+
+* **store consult** — with a store attached, cached specs are answered
+  before any task is shipped; only the misses fan out.
+* **singleflight dedupe** — positions holding an identical spec (same
+  :meth:`~RunSpec.spec_hash`) are computed once and the report fanned
+  back to every position, preserving spec order.
+* **shared-memory instance fabric** — the parent publishes each unique
+  instance (points, and the CSR neighbor table for turbo-layout runs)
+  once via :mod:`repro.experiments.fabric`; workers attach read-only
+  instead of rebuilding.  Unavailable shared memory degrades silently
+  to per-worker rebuilds.
+
+One :class:`~concurrent.futures.ProcessPoolExecutor` stays alive at
+module level across batches (spawning workers pays interpreter start-up
+and a cold instance cache otherwise) and is reused as long as it is at
+least as large as the requested worker count; :func:`shutdown` tears it
+down (releasing fabric segments with it), and an ``atexit`` hook reaps
+it at interpreter exit.  When the host cannot spawn a process pool at
+all (sandboxed CI, locked-down containers), the batch degrades to the
+serial backend with a single :class:`RuntimeWarning` instead of raising
+— every cell is deterministic, so the results are identical, only
+slower.
 """
 
 from __future__ import annotations
@@ -72,17 +95,26 @@ def dispatch(entry: AlgorithmEntry, points, spec: RunSpec):
     return entry.adapter(points, spec)
 
 
-def execute(spec: RunSpec) -> RunReport:
+def execute(spec: RunSpec, *, store=None) -> RunReport:
     """Execute one spec and return its full report.
 
     Bit-identical to calling the underlying runner directly with the
     spec's constants (pinned by ``tests/test_runspec.py``): the engine is
-    plumbing, not behavior.
+    plumbing, not behavior.  With ``store`` a cached result short-
+    circuits the run entirely and a fresh result is persisted; a store
+    failure is never allowed to fail the run (the store degrades to
+    inert and the run proceeds uncached).
     """
     # Imported lazily: experiments.instances sits above the algorithm
     # layer, whose runner modules import this package to self-register.
     from repro.experiments.instances import get_points
 
+    if store is not None:
+        cached = store.get_report(spec)
+        if cached is not None:
+            perf.add("engine.store_hits")
+            return cached
+        perf.add("engine.store_misses")
     entry = get(spec.algorithm)
     pts = get_points(spec.n, spec.seed)
     psnap = tsnap = None
@@ -114,7 +146,10 @@ def execute(spec: RunSpec) -> RunReport:
             trace.merge(trace_prev)
             if trace_was_on:
                 trace.enable()
-    return RunReport(spec=spec, result=result, perf=psnap, trace=tsnap)
+    report = RunReport(spec=spec, result=result, perf=psnap, trace=tsnap)
+    if store is not None:
+        store.put_report(report)
+    return report
 
 
 # -- process backend ---------------------------------------------------------
@@ -131,22 +166,52 @@ _POOL_FAILURES = (BrokenProcessPool, OSError, ImportError, NotImplementedError)
 
 
 def _executor(workers: int) -> ProcessPoolExecutor:
-    """The shared pool, (re)created when the worker count changes."""
+    """The shared pool, reused whenever it is big enough.
+
+    A pool with *more* workers than requested serves the batch fine (the
+    extras idle), so only growth forces a respawn.  Recreating on every
+    size change made alternating sweeps — a wide scaling pass followed by
+    a narrow fault grid — pay worker start-up and a cold instance cache
+    twice per alternation.
+    """
     global _pool, _pool_workers
-    if _pool is None or _pool_workers != workers:
-        shutdown()
+    if _pool is None or _pool_workers < workers:
+        _shutdown_pool()
         _pool = ProcessPoolExecutor(max_workers=workers)
         _pool_workers = workers
     return _pool
 
 
-def shutdown() -> None:
-    """Tear down the shared pool (idempotent; next batch respawns it)."""
+def _shutdown_pool() -> None:
+    """Tear down just the process pool (idempotent).
+
+    Deliberately does *not* touch the instance fabric: a pool respawn
+    mid-batch (worker-count growth, failure recovery) must leave the
+    segments the already-shipped manifests reference alive.
+    """
     global _pool, _pool_workers
     if _pool is not None:
         _pool.shutdown()
         _pool = None
         _pool_workers = 0
+
+
+def shutdown() -> None:
+    """Tear down the shared pool (idempotent; next batch respawns it).
+
+    Fabric segments are released with it: the workers holding the
+    attachments are going away, so keeping the parent's shared maps
+    pinned would only defer the unlink to interpreter exit.
+    """
+    _shutdown_pool()
+    try:
+        from repro.experiments import fabric
+
+        fabric.release()
+    except Exception:
+        # Interpreter teardown (this also runs from atexit) may have
+        # already reaped the module; fabric registers its own backstop.
+        pass
 
 
 # A process that batches and exits without calling shutdown() would leak
@@ -155,16 +220,26 @@ def shutdown() -> None:
 atexit.register(shutdown)
 
 
-def _execute_task(spec_dict: dict) -> RunReport:
+def _execute_task(task: "dict | tuple") -> RunReport:
     """Worker: one serialized spec -> its report.
 
     Module-level so it pickles under the spawn start method.  The task is
     the spec's JSON dict — small and self-describing; the worker derives
     the instance through its per-process cache and, because the spec
     carries the perf/trace switches, records isolated snapshots that ship
-    back inside the report for the parent to merge.
+    back inside the report for the parent to merge.  A task may arrive as
+    ``(spec_dict, manifest)``: the manifest lists shared-memory segments
+    published by the parent, attached (idempotently) before the run so
+    the instance cache serves the parent's arrays instead of rebuilding.
     """
-    return execute(RunSpec.from_dict(spec_dict))
+    manifest = None
+    if isinstance(task, tuple):
+        task, manifest = task
+    if manifest is not None:
+        from repro.experiments import fabric
+
+        fabric.attach_manifest(manifest)
+    return execute(RunSpec.from_dict(task))
 
 
 def _chunksize(n_tasks: int, workers: int, align: int) -> int:
@@ -186,6 +261,7 @@ def execute_batch(
     backend: str = "serial",
     workers: int | None = None,
     chunk_align: int = 1,
+    store=None,
 ) -> list[RunReport]:
     """Execute many specs; reports come back in spec order.
 
@@ -194,6 +270,8 @@ def execute_batch(
     specs:
         The run requests.  Order is preserved — report ``i`` belongs to
         spec ``i`` — so callers can merge instrumentation deterministically.
+        Positions holding an identical spec are computed once
+        (singleflight) and the one report fanned back to each of them.
     backend:
         ``"serial"`` runs in-process; ``"process"`` fans out over the
         shared process pool (falling back to serial, with one warning,
@@ -203,22 +281,75 @@ def execute_batch(
     chunk_align:
         Chunk-size alignment for the process backend (see
         :func:`_chunksize`).
+    store:
+        Optional :class:`~repro.store.ResultStore`.  Cached specs are
+        answered before any fan-out; fresh results are written back.
     """
     specs = list(specs)
     if backend not in BACKENDS:
         raise ExperimentError(
             f"unknown batch backend {backend!r}; expected one of {BACKENDS}"
         )
+    if not specs:
+        return []
+
+    # Singleflight: collapse identical positions to one computation per
+    # distinct spec hash, keeping first-appearance order for the fan-out
+    # (so chunk alignment still sees cell-major runs of the sweep).
+    order: dict[str, int] = {}
+    unique: list[RunSpec] = []
+    slots: list[int] = []
+    for spec in specs:
+        h = spec.spec_hash()
+        at = order.get(h)
+        if at is None:
+            at = order[h] = len(unique)
+            unique.append(spec)
+        slots.append(at)
+    if len(unique) < len(specs):
+        perf.add("engine.batch_deduped", len(specs) - len(unique))
+
+    # Store consult: answer what we can before shipping anything.
+    reports: list[RunReport | None] = [None] * len(unique)
+    if store is not None:
+        for i, spec in enumerate(unique):
+            cached = store.get_report(spec)
+            if cached is not None:
+                perf.add("engine.store_hits")
+                reports[i] = cached
+            else:
+                perf.add("engine.store_misses")
+    todo = [i for i in range(len(unique)) if reports[i] is None]
+
+    if todo:
+        fresh = _run_batch(
+            [unique[i] for i in todo], backend, workers, chunk_align
+        )
+        for i, report in zip(todo, fresh):
+            reports[i] = report
+            if store is not None:
+                store.put_report(report)
+    return [reports[at] for at in slots]
+
+
+def _run_batch(
+    specs: list[RunSpec], backend: str, workers: int | None, chunk_align: int
+) -> list[RunReport]:
+    """Fan ``specs`` (already deduped, all misses) out on ``backend``."""
     if backend == "serial":
         return [execute(s) for s in specs]
-
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
-    if not specs:
-        return []
-    tasks = [s.to_dict() for s in specs]
+
+    from repro.experiments import fabric
+
+    manifest = fabric.manifest_for_specs(specs)
+    if manifest is not None:
+        tasks: list = [(s.to_dict(), manifest) for s in specs]
+    else:
+        tasks = [s.to_dict() for s in specs]
     chunksize = _chunksize(len(tasks), workers, chunk_align)
     try:
         pool = _executor(workers)

@@ -136,10 +136,17 @@ class RunReport:
     # -- JSON round trip -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain JSON-serializable payload (inverse: :meth:`from_dict`)."""
+        """Plain JSON-serializable payload (inverse: :meth:`from_dict`).
+
+        ``spec_hash`` is stamped in (derived from the spec, so the
+        payload stays a pure function of the report's contents): a
+        stored payload and a freshly computed one are diffable by key
+        without re-deriving the hash.
+        """
         return {
             "schema_version": SCHEMA_VERSION,
             "kind": "run_report",
+            "spec_hash": self.spec.spec_hash(),
             "spec": self.spec.to_dict(),
             "result": result_to_dict(self.result),
             "perf": self.perf,
@@ -154,8 +161,14 @@ class RunReport:
         version = data.get("schema_version", data.get("schema"))
         if version != SCHEMA_VERSION:
             raise ExperimentError(f"unsupported run_report schema version {version!r}")
+        spec = RunSpec.from_dict(data["spec"])
+        stamp = data.get("spec_hash")
+        if stamp is not None and stamp != spec.spec_hash():
+            raise ExperimentError(
+                "run_report spec_hash stamp does not match its spec payload"
+            )
         return cls(
-            spec=RunSpec.from_dict(data["spec"]),
+            spec=spec,
             result=result_from_dict(data["result"]),
             perf=data.get("perf"),
             trace=data.get("trace"),

@@ -16,6 +16,7 @@ types; every writer in :mod:`repro.experiments.io` and
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
@@ -117,6 +118,16 @@ def jsonable(obj: Any) -> Any:
     if isinstance(obj, np.generic):
         return obj.item()
     return obj
+
+
+def _canonical_hash(data: dict) -> str:
+    """sha256 hex digest of ``data`` rendered as canonical JSON.
+
+    Canonical = sorted keys, compact separators: the rendering is unique
+    for a given payload, so the digest is a content address.
+    """
+    text = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _json_key(key: Any) -> Any:
@@ -242,6 +253,29 @@ class RunSpec:
     def cell(self) -> str:
         """The sweep-cell key this spec occupies (trace source stamp)."""
         return f"{self.algorithm}:n{self.n}:s{self.seed}"
+
+    def spec_hash(self) -> str:
+        """Content address of this spec: sha256 over the canonical JSON dict.
+
+        Two specs hash equal iff they are equal (the dict is the full
+        field set, the JSON rendering is canonical — sorted keys, no
+        whitespace — and the ``schema_version`` stamp is part of the
+        hashed payload, so a schema bump can never alias an old key).
+        """
+        return _canonical_hash(self.to_dict())
+
+    def result_key(self) -> str:
+        """Content address of this spec's *result*.
+
+        Like :meth:`spec_hash` but with the perf/trace instrumentation
+        switches excluded: instrumentation observes a run without
+        changing its outcome, so an instrumented and a bare run of the
+        same configuration share one
+        :class:`~repro.store.ResultStore` entry.
+        """
+        data = self.to_dict()
+        del data["perf"], data["trace"]
+        return _canonical_hash(data)
 
     def with_(self, **changes: Any) -> "RunSpec":
         """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""

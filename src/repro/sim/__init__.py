@@ -26,9 +26,16 @@ from repro.sim.message import Message
 from repro.sim.energy import EnergyLedger, SimStats
 from repro.sim.node import NodeProcess
 from repro.sim.faults import FaultPlan, FaultPlane, RetryBuffer
-from repro.sim.kernel import SynchronousKernel, Context
+from repro.sim.kernel import (
+    Context,
+    SynchronousKernel,
+    make_neighbor_table,
+    neighbor_csr_arrays,
+    set_table_provider,
+    table_within_budget,
+)
 from repro.sim.legacy import LegacyKernel
-from repro.sim.turbo import TurboKernel
+from repro.sim.turbo import TurboKernel, seq_energy_accumulate
 from repro.sim.backends import (
     KernelEntry,
     get_kernel,
@@ -59,4 +66,9 @@ __all__ = [
     "SynchronousKernel",
     "LegacyKernel",
     "Context",
+    "make_neighbor_table",
+    "neighbor_csr_arrays",
+    "seq_energy_accumulate",
+    "set_table_provider",
+    "table_within_budget",
 ]

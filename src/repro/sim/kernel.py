@@ -121,6 +121,76 @@ def _dict_delta(cur: dict, prev: dict) -> dict:
     return out
 
 
+def table_within_budget(n: int, radius: float) -> bool:
+    """Whether the density gate admits a CSR table for ``(n, radius)``.
+
+    The same budget :meth:`SynchronousKernel._build_neighbor_table`
+    applies; exposed so out-of-process table builders (the shared-memory
+    instance fabric) publish exactly the tables a kernel would build.
+    """
+    est_entries = n * (n - 1) * min(1.0, math.pi * radius * radius)
+    return est_entries <= max(_TABLE_MIN_BUDGET, _TABLE_DEGREE_BUDGET * n)
+
+
+def neighbor_csr_arrays(
+    points: np.ndarray, radius: float, *, tree: "cKDTree | None" = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The neighbor-table CSR payload ``(indptr, ids, dists)`` at ``radius``.
+
+    Exactly the arrays :meth:`SynchronousKernel._build_neighbor_table`
+    assembles — same ``query_pairs`` enumeration, same float distance
+    expression, same ``(src, dist)`` lexsort — returned as plain arrays
+    so they can be staged in shared memory and rehydrated elsewhere via
+    :func:`make_neighbor_table`.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    if tree is None:
+        tree = cKDTree(pts)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    if len(pairs):
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        diff = pts[src] - pts[dst]
+        dx, dy = diff[:, 0], diff[:, 1]
+        # Same float expression as the scalar unicast path, so the
+        # cached distances are bit-identical to recomputation.
+        dist = np.sqrt(dx * dx + dy * dy)
+        order = np.lexsort((dist, src))
+        src, dst, dist = src[order], dst[order], dist[order]
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+        dist = np.zeros(0)
+    indptr = np.searchsorted(src, np.arange(n + 1))
+    return indptr.astype(np.int64), dst.astype(np.int64, copy=False), dist
+
+
+def make_neighbor_table(
+    radius: float, indptr: np.ndarray, ids: np.ndarray, dists: np.ndarray
+) -> "_NeighborTable":
+    """Rehydrate a neighbor table from its CSR payload arrays.
+
+    The arrays may be views over shared memory; the table never writes
+    to them (its lazy mirrors and caches are private side tables).
+    """
+    return _NeighborTable(float(radius), list(indptr), ids, dists)
+
+
+#: Optional neighbor-table provider hook: ``fn(points, radius) ->
+#: _NeighborTable | None``.  Consulted before every in-kernel CSR build;
+#: a non-None return is used verbatim.  The shared-memory instance
+#: fabric registers a provider in pool workers so kernels attach the
+#: parent's prebuilt tables instead of re-deriving them.
+_table_provider: Callable | None = None
+
+
+def set_table_provider(fn: Callable | None) -> None:
+    """Install (or clear, with ``None``) the neighbor-table provider."""
+    global _table_provider
+    _table_provider = fn
+
+
 def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     """Concatenate the half-open index ranges ``[starts[i], ends[i])``.
 
@@ -408,29 +478,19 @@ class SynchronousKernel:
         """
         n = self.n
         r = self.max_radius
-        est_entries = n * (n - 1) * min(1.0, math.pi * r * r)
-        if est_entries > max(_TABLE_MIN_BUDGET, _TABLE_DEGREE_BUDGET * n):
+        if not table_within_budget(n, r):
             if perf.enabled:
                 perf.add("kernel.nbr_table_fallbacks")
             return _NO_TABLE
+        if _table_provider is not None:
+            table = _table_provider(self.points, r)
+            if table is not None:
+                if perf.enabled:
+                    perf.add("kernel.nbr_table_provided")
+                return table
         with perf.timed("kernel.nbr_table_build"):
-            pairs = self._tree.query_pairs(r, output_type="ndarray")
-            if len(pairs):
-                src = np.concatenate([pairs[:, 0], pairs[:, 1]])
-                dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
-                diff = self.points[src] - self.points[dst]
-                dx, dy = diff[:, 0], diff[:, 1]
-                # Same float expression as the scalar unicast path, so the
-                # cached distances are bit-identical to recomputation.
-                dist = np.sqrt(dx * dx + dy * dy)
-                order = np.lexsort((dist, src))
-                src, dst, dist = src[order], dst[order], dist[order]
-            else:
-                src = np.zeros(0, dtype=np.int64)
-                dst = np.zeros(0, dtype=np.int64)
-                dist = np.zeros(0)
-            indptr = np.searchsorted(src, np.arange(n + 1)).tolist()
-            table = _NeighborTable(r, indptr, dst, dist)
+            indptr, dst, dist = neighbor_csr_arrays(self.points, r, tree=self._tree)
+            table = _NeighborTable(r, indptr.tolist(), dst, dist)
         if perf.enabled:
             perf.add("kernel.nbr_table_builds")
             perf.add("kernel.nbr_table_entries", len(table.ids))

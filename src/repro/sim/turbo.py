@@ -35,10 +35,36 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.perf import perf
+from repro.sim._jit import HAVE_NUMBA, njit
 from repro.sim.kernel import SynchronousKernel
 from repro.trace import trace
 
-__all__ = ["TurboKernel"]
+__all__ = ["TurboKernel", "seq_energy_accumulate"]
+
+
+@njit(cache=True)
+def _seq_sum_jit(total: float, energies: np.ndarray) -> float:
+    total = float(total)
+    for i in range(energies.shape[0]):
+        total += energies[i]
+    return total
+
+
+def seq_energy_accumulate(total: float, energies: np.ndarray) -> float:
+    """``total`` advanced by every element of ``energies``, *in order*.
+
+    The scalar tail of the turbo backend's energy accounting: the ledger
+    total must move through the exact left-to-right partial sums the
+    per-message kernel's ``+=`` loop produces, so pairwise/compensated
+    summation is off the table.  Under Numba this is the jitted scalar
+    loop itself; without it, a seeded ``np.add.accumulate`` chain —
+    ufunc accumulation is defined as sequential application, so the two
+    paths are bit-identical (pinned by ``tests/test_turbo.py`` with and
+    without ``REPRO_NO_NUMBA=1``).
+    """
+    if HAVE_NUMBA:
+        return float(_seq_sum_jit(float(total), np.ascontiguousarray(energies)))
+    return float(np.add.accumulate(np.concatenate(([total], energies)))[-1])
 
 
 class TurboKernel(SynchronousKernel):
@@ -85,11 +111,7 @@ class TurboKernel(SynchronousKernel):
         if k == 0:
             return
         led = self._ledger
-        led.energy_total = float(
-            np.add.accumulate(
-                np.concatenate(([led.energy_total], energies))
-            )[-1]
-        )
+        led.energy_total = seq_energy_accumulate(led.energy_total, energies)
         led.messages_total += k
         np.add.at(led.energy_by_node, srcs, energies)
         acc = self._acc_kinds

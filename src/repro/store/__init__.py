@@ -1,0 +1,19 @@
+"""Persistent run-result storage: the content-addressed result cache.
+
+A sweep cell is deterministic data — a
+:class:`~repro.runspec.spec.RunSpec` maps to exactly one
+:class:`~repro.runspec.report.RunReport` — so identical specs must never
+recompute.  :class:`ResultStore` is the durable half of that contract: a
+sqlite-backed (WAL) table of full report JSON payloads keyed by
+:meth:`~repro.runspec.spec.RunSpec.result_key`, consulted by
+:func:`repro.runspec.engine.execute` and before every
+:func:`~repro.runspec.engine.execute_batch` fan-out.
+
+The store is an accelerator, never a dependency: every failure mode —
+corrupted or truncated database files, concurrent writers, unreadable
+payloads — degrades to a cold cache instead of crashing a run.
+"""
+
+from repro.store.results import DEFAULT_MAX_BYTES, ResultStore, default_store_path
+
+__all__ = ["DEFAULT_MAX_BYTES", "ResultStore", "default_store_path"]

@@ -226,3 +226,61 @@ class TestAlgorithmsCommand:
             main(["run", "DIJKSTRA", "-n", "100"])
         err = capsys.readouterr().err
         assert "GHS" in err
+
+
+class TestCacheCli:
+    def test_emit_spec_prints_spec_hash(self, capsys, tmp_path):
+        from repro.runspec import RunSpec
+
+        spec_path = tmp_path / "spec.json"
+        assert main(["run", "GHS", "-n", "80", "--seed", "4",
+                     "--emit-spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        expected = RunSpec(algorithm="GHS", n=80, seed=4).spec_hash()
+        assert f"spec_hash: {expected}" in out
+
+    def test_run_cache_miss_then_hit(self, capsys, tmp_path):
+        db = tmp_path / "cache.sqlite"
+        argv = ["run", "GHS", "-n", "80", "--seed", "4",
+                "--cache-path", str(db)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache: miss (stored)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+        # The cached stats block is byte-identical to the fresh one.
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("cache:")]
+        assert strip(first) == strip(second)
+
+    def test_cache_flag_uses_env_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "GHS", "-n", "80", "--cache"]) == 0
+        assert "cache: miss (stored)" in capsys.readouterr().out
+        assert (tmp_path / "results.sqlite").exists()
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        db = tmp_path / "cache.sqlite"
+        assert main(["run", "GHS", "-n", "80", "--cache-path", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "1" in out
+        assert main(["cache", "clear", "--store", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", str(db)]) == 0
+        assert "entries             1" not in capsys.readouterr().out
+
+    def test_cache_prune_honors_max_bytes(self, capsys, tmp_path):
+        db = tmp_path / "cache.sqlite"
+        for seed in range(4):
+            assert main(["run", "GHS", "-n", "80", "--seed", str(seed),
+                         "--cache-path", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--store", str(db),
+                     "--max-bytes", "1"]) == 0
+        capsys.readouterr()
+        from repro.store import ResultStore
+
+        with ResultStore(db) as store:
+            assert store.stats()["entries"] == 0

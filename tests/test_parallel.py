@@ -53,12 +53,26 @@ class TestPoolReuse:
         sweep_energy_parallel(self.CFG_SMALL, workers=2)
         assert parallel_mod._pool is pool  # same executor object reused
 
-    def test_worker_count_change_respawns_pool(self):
+    def test_pool_reused_when_big_enough(self):
+        """Satellite regression: a 2-worker pool serves a 1-worker batch
+        fine (the extra worker idles), so shrinking the request must not
+        pay a teardown/respawn — alternating wide and narrow sweeps used
+        to thrash the pool (and its warm instance caches) twice per
+        alternation."""
+        shutdown()
         sweep_energy_parallel(self.CFG_SMALL, workers=2)
         pool = parallel_mod._pool
         sweep_energy_parallel(self.CFG_SMALL, workers=1)
+        assert parallel_mod._pool is pool
+        assert parallel_mod._pool_workers == 2
+
+    def test_pool_growth_respawns(self):
+        shutdown()
+        sweep_energy_parallel(self.CFG_SMALL, workers=1)
+        pool = parallel_mod._pool
+        sweep_energy_parallel(self.CFG_SMALL, workers=2)
         assert parallel_mod._pool is not pool
-        assert parallel_mod._pool_workers == 1
+        assert parallel_mod._pool_workers == 2
 
     def test_shutdown_clears_and_is_idempotent(self):
         sweep_energy_parallel(self.CFG_SMALL, workers=1)
@@ -174,6 +188,117 @@ class TestAtexitCleanup:
             [sys.executable, "-c", code], timeout=120, capture_output=True
         )
         assert proc.returncode == 0, proc.stderr.decode()
+
+
+class TestInstanceFabric:
+    """The shared-memory instance fabric: zero-copy instance publication
+    for the process backend, with per-worker rebuilds as the always-
+    equivalent fallback."""
+
+    def _specs(self, kernel="fast", n=300):
+        from repro.runspec import RunSpec
+
+        return [
+            RunSpec(algorithm=alg, n=n, seed=seed, kernel=kernel)
+            for alg in ("GHS", "MGHS")
+            for seed in (0, 1)
+        ]
+
+    @pytest.mark.parametrize("kernel", ["fast", "turbo"])
+    def test_shm_and_rebuilt_paths_identical(self, kernel, monkeypatch):
+        """The fabric is a pure accelerator: reports from SHM-attached
+        workers are byte-identical to per-worker-rebuilt ones."""
+        from repro.experiments import fabric
+        from repro.runspec import execute_batch
+
+        specs = self._specs(kernel=kernel)
+        shutdown()
+        attached = execute_batch(specs, backend="process", workers=2)
+        assert fabric.stats()["published_segments"] > 0
+        shutdown()
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not fabric.shm_available()
+        rebuilt = execute_batch(specs, backend="process", workers=2)
+        shutdown()
+        for a, b in zip(attached, rebuilt):
+            assert a.to_json() == b.to_json()
+
+    def test_shutdown_unlinks_segments(self):
+        """Pool shutdown releases every published OS segment: the names
+        disappear and a fresh attach fails."""
+        from multiprocessing import shared_memory
+
+        from repro.experiments import fabric
+        from repro.runspec import execute_batch
+
+        shutdown()
+        execute_batch(self._specs(), backend="process", workers=2)
+        names = [
+            pub.shm.name
+            for pub in fabric._published.values()
+            if hasattr(pub, "shm")
+        ]
+        assert names
+        shutdown()
+        assert fabric.stats()["published_segments"] == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_pool_failure_releases_segments(self, monkeypatch):
+        """The pool-failure path (worker crash, sandboxed spawn) must not
+        leak segments: the serial fallback still answers, and the OS
+        names are gone afterwards."""
+        from repro.experiments import fabric
+        from repro.runspec import engine as engine_mod
+        from repro.runspec import execute_batch
+
+        def no_pool(workers):
+            raise OSError("spawn blocked")
+
+        shutdown()
+        monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        specs = self._specs()
+        with pytest.warns(RuntimeWarning, match="falling back to the serial"):
+            degraded = execute_batch(specs, backend="process", workers=2)
+        assert fabric.stats()["published_segments"] == 0
+        monkeypatch.undo()
+        shutdown()
+        serial = execute_batch(specs, backend="serial")
+        for a, b in zip(degraded, serial):
+            assert a.to_json() == b.to_json()
+
+    def test_release_retires_adopted_views(self):
+        """After release, the parent instance cache must rebuild instead
+        of serving a retired shared view (use-after-unmap guard)."""
+        import numpy as np
+
+        from repro.experiments import fabric
+        from repro.experiments.instances import get_points
+        from repro.runspec import RunSpec
+
+        shutdown()
+        spec = RunSpec(algorithm="GHS", n=123, seed=7)
+        manifest = fabric.manifest_for_specs([spec])
+        if manifest is None:
+            pytest.skip("shared memory unavailable on this host")
+        shared = get_points(123, 7)
+        fabric.release()
+        rebuilt = get_points(123, 7)
+        assert rebuilt is not shared
+        assert np.array_equal(rebuilt, shared)
+
+    def test_attach_of_missing_segment_degrades(self):
+        """A worker racing an eviction just rebuilds locally."""
+        from repro.experiments import fabric
+        from repro.experiments.instances import get_points
+
+        before = len(fabric._attached)
+        fabric.attach_manifest(
+            [{"kind": "points", "n": 50, "seed": 0, "shm": "psm_gone_gone"}]
+        )
+        assert len(fabric._attached) == before
+        assert get_points(50, 0).shape == (50, 2)
 
 
 class TestSerialFallback:

@@ -234,3 +234,52 @@ class TestKernelRegistry:
             kernel_class("warp9")
         for name in kernel_names():
             assert name in str(ei.value)
+
+
+# -- jitted sequential energy accumulation ------------------------------------
+
+
+class TestSeqEnergyAccumulate:
+    """The turbo engines fold per-message energies into the ledger through
+    :func:`seq_energy_accumulate`; it must be bit-identical to the scalar
+    ``total += e`` loop whether or not numba is present."""
+
+    def _reference(self, total, energies):
+        total = float(total)
+        for e in energies:
+            total += float(e)
+        return total
+
+    def test_matches_scalar_loop_bitwise(self):
+        from repro.sim import seq_energy_accumulate
+
+        rng = np.random.default_rng(7)
+        for size in (0, 1, 3, 100, 4097):
+            energies = rng.uniform(0.0, 2.0, size=size)
+            total = float(rng.uniform(0.0, 10.0))
+            got = seq_energy_accumulate(total, energies)
+            assert got == self._reference(total, energies)  # exact, not approx
+
+    def test_no_numba_env_pins_report_bytes(self):
+        """A subprocess with REPRO_NO_NUMBA=1 must emit the same report
+        JSON as this process — the fallback path may not drift."""
+        import os
+        import subprocess
+        import sys
+
+        from repro.runspec import RunSpec, execute
+
+        spec = RunSpec(algorithm="MGHS", n=250, seed=3, kernel="turbo")
+        local = execute(spec).to_json(indent=None)
+        code = (
+            "import sys, json\n"
+            "from repro.runspec import RunSpec, execute\n"
+            "spec = RunSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "sys.stdout.write(execute(spec).to_json(indent=None))\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMBA="1", PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", code, spec.to_json()],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(), check=True,
+        )
+        assert out.stdout == local
