@@ -3,13 +3,32 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke fuzz-smoke fuzz-deep golden-regen
 
 # Tier 1: lint gate plus the full unit/property suite (must stay green),
-# plus the run-cache smoke so a cache regression cannot land silently.
+# plus the run-cache smoke so a cache regression cannot land silently,
+# plus the bounded fuzz smoke (deterministic; see docs/fuzzing.md).
 verify: lint
 	$(PY) -m pytest -x -q
 	$(PY) benchmarks/bench_run_cache.py --quick
+	$(MAKE) fuzz-smoke
+
+# Bounded, derandomized stateful fuzzing pass: replay the checked-in
+# counterexample corpus, then a small budget of fresh examples per
+# machine.  Deterministic (derandomize=True, fixed seed), so a red run
+# is a real regression, never flake.
+fuzz-smoke:
+	$(PY) -m repro fuzz --machine all --examples 12 --steps 25 --corpus tests/corpus
+
+# Longer fuzz campaign across several seed offsets — run before merging
+# changes to the retry layer, fault plane, or recovery driver.  On
+# failure the shrunk counterexample lands in fuzz-failure/ as
+# scenario.json + spec.json + trace-diff; see docs/fuzzing.md.
+fuzz-deep:
+	for s in 0 1 2 3; do \
+		$(PY) -m repro fuzz --machine all --examples 75 --steps 50 \
+			--seed $$s --corpus tests/corpus || exit 1; \
+	done
 
 # Lint: ruff (configured in pyproject.toml) when installed, an AST
 # fallback (syntax errors + unused imports) otherwise.

@@ -146,7 +146,7 @@ class CoNNTNode(NodeProcess):
                 raise ProtocolError(
                     f"node {self.id}: ACK received but reliable mode is off"
                 )
-            self.retry.on_ack(payload[0])
+            self.retry.on_ack(msg.src, payload[0])
             return
         self._dispatch(kind, msg.src, payload, distance)
 

@@ -119,21 +119,19 @@ def audit_ghs_state(nodes: Sequence[GHSNode], *, strict_fids: bool = True) -> di
     }
 
 
-def audit_recovery(nodes: Sequence[GHSNode], *, kernel) -> dict:
-    """Fragment-invariant safety check at a fault-recovery settle point.
+def audit_pending_retry(nodes: Sequence, *, kernel) -> int:
+    """No node that could still act holds unacknowledged reliable traffic.
 
-    Runs the full :func:`audit_ghs_state` sweep plus the recovery-layer
-    invariants a settled barrier must satisfy:
-
-    * no node that could still act holds unacknowledged reliable traffic
-      (the settle loop's job is to drain it);
-    * a node that crashed at round 0 and never restarts took part in
-      nothing: it holds no tree edges and no surviving node holds a tree
-      edge to it (it was never heard, so it was never connected to).
+    The settle loops' postcondition, shared by :func:`audit_recovery` and
+    the fuzzing worlds (``repro.fuzz``): at a settled barrier the only
+    tolerated holders of pending :class:`~repro.sim.faults.RetryBuffer`
+    entries are nodes that are gone forever — their traffic can never
+    move again and is excluded from the drain condition by design.
+    Returns the number of tolerated (gone-forever) pending messages.
     """
-    summary = audit_ghs_state(nodes, strict_fids=False)
     fp = kernel.faults
     rnd = kernel.rounds
+    tolerated = 0
     for nd in nodes:
         retry = getattr(nd, "retry", None)
         if retry is not None and retry.pending:
@@ -142,6 +140,26 @@ def audit_recovery(nodes: Sequence[GHSNode], *, kernel) -> dict:
                     f"node {nd.id} still holds {len(retry.pending)} "
                     "unacknowledged reliable messages at a settle point"
                 )
+            tolerated += len(retry.pending)
+    return tolerated
+
+
+def audit_recovery(nodes: Sequence[GHSNode], *, kernel) -> dict:
+    """Fragment-invariant safety check at a fault-recovery settle point.
+
+    Runs the full :func:`audit_ghs_state` sweep plus the recovery-layer
+    invariants a settled barrier must satisfy:
+
+    * no node that could still act holds unacknowledged reliable traffic
+      (:func:`audit_pending_retry` — the settle loop's job is to drain it);
+    * a node that crashed at round 0 and never restarts took part in
+      nothing: it holds no tree edges and no surviving node holds a tree
+      edge to it (it was never heard, so it was never connected to).
+    """
+    summary = audit_ghs_state(nodes, strict_fids=False)
+    fp = kernel.faults
+    rnd = kernel.rounds
+    audit_pending_retry(nodes, kernel=kernel)
     if fp is not None and fp.has_crashes:
         for nd in nodes:
             if fp.gone_forever(nd.id, rnd) and fp.crash_start(nd.id) == 0:

@@ -229,7 +229,18 @@ class GHSRecovery:
                     if nd.retry is not None and nd.retry.pending
                 ]
                 if holders:
-                    alive = [i for i in holders if not fp.crashed(i, rnd)]
+                    live = [i for i in holders if not fp.gone_forever(i, rnd)]
+                    if not live:
+                        # Waiting on a restart that never comes would idle
+                        # the clock for max_iters rounds before failing;
+                        # a participant that died forever mid-protocol is
+                        # out of recovery scope, so fail promptly instead.
+                        raise ProtocolError(
+                            f"nodes {holders} hold unacknowledged reliable "
+                            "traffic but crashed permanently; recovery only "
+                            "covers transient crashes and never-started nodes"
+                        )
+                    alive = [i for i in live if not fp.crashed(i, rnd)]
                     if alive:
                         if trace.enabled:
                             trace.emit("retry", round=rnd, nodes=len(alive))
@@ -237,7 +248,7 @@ class GHSRecovery:
                         if not kernel.in_flight:
                             kernel.tick()  # backoff armed: let a round pass
                     else:
-                        kernel.tick()  # every holder is down: wait
+                        kernel.tick()  # every live holder is down: wait
                     continue
                 ready, blocked = self._stale_floods(rnd)
                 if ready:

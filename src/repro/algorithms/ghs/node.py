@@ -309,7 +309,7 @@ class GHSNode(NodeProcess):
         elif kind == "ACK":
             if self.retry is None:
                 raise ProtocolError(f"node {self.id}: ACK received in unreliable mode")
-            self.retry.on_ack(payload[0])
+            self.retry.on_ack(src, payload[0])
             return
         self._dispatch(kind, src, payload, distance)
 

@@ -14,6 +14,8 @@ Gives downstream users the paper's experiments without writing code:
 * ``tab1``   — the Co-NNT vs MST quality comparison;
 * ``thm52``  — giant-component empirics;
 * ``lb``     — lower-bound constants;
+* ``fuzz``   — stateful protocol fuzzing (corpus replay + hypothesis
+  state machines; see :mod:`repro.fuzz` and ``docs/fuzzing.md``);
 * ``render`` — SVG of an instance with its MST and NNT.
 """
 
@@ -207,6 +209,43 @@ def _cmd_trace_diff(args) -> int:
     d = diff_files(args.left, args.right, context=args.context)
     print(format_divergence(d, args.left, args.right))
     return 1 if d is not None else 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Replay the corpus, then run the stateful fuzz machines."""
+    from repro.fuzz.corpus import iter_corpus, load_scenario, replay_scenario
+
+    rc = 0
+    corpus_files = iter_corpus(args.corpus) if args.corpus else []
+    for path in corpus_files:
+        try:
+            replay_scenario(load_scenario(path))
+            print(f"corpus  {path.name}: ok")
+        except Exception as exc:
+            rc = 1
+            print(f"corpus  {path.name}: FAILED ({type(exc).__name__}: {exc})")
+    if corpus_files:
+        print(f"corpus  {len(corpus_files)} scenario(s) replayed")
+
+    from repro.fuzz.machine import run_fuzz
+
+    machines = ["ghs", "retry"] if args.machine == "all" else [args.machine]
+    for name in machines:
+        out = run_fuzz(
+            name,
+            examples=args.examples,
+            steps=args.steps,
+            seed=args.seed,
+            export_dir=args.out,
+        )
+        if out.ok:
+            print(f"machine {name}: ok ({args.examples} examples x {args.steps} steps)")
+        else:
+            rc = 1
+            print(f"machine {name}: FAILED — {out.error}")
+            for kind, path in out.artifacts.items():
+                print(f"  {kind}: {path}")
+    return rc
 
 
 def _cmd_fig3a(args) -> int:
@@ -516,6 +555,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="agreed-upon events to print before the divergence",
     )
     td.set_defaults(func=_cmd_trace_diff)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="stateful protocol fuzzing: corpus replay + hypothesis machines",
+    )
+    fz.add_argument(
+        "--machine",
+        choices=["ghs", "retry", "all"],
+        default="all",
+        help="which state machine(s) to run",
+    )
+    fz.add_argument(
+        "--examples", type=int, default=20, help="hypothesis examples per machine"
+    )
+    fz.add_argument(
+        "--steps", type=int, default=30, help="max rule applications per example"
+    )
+    fz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="scenario-offset seed (runs stay deterministic per seed)",
+    )
+    fz.add_argument(
+        "--corpus",
+        default=None,
+        help="directory of saved counterexample scenarios to replay first",
+    )
+    fz.add_argument(
+        "--out",
+        default="fuzz-failure",
+        help="directory for counterexample artifacts on failure",
+    )
+    fz.set_defaults(func=_cmd_fuzz)
 
     rd = sub.add_parser("render", help="SVG of an instance with MST + NNT")
     rd.add_argument("-n", type=int, default=300)

@@ -1,0 +1,145 @@
+"""Fuzz scenario corpus: exact-replay JSON for past counterexamples.
+
+Every fuzz world records its rule applications as a flat op list; a
+*scenario* is that list plus the world's constructor parameters.  Saved
+scenarios replay deterministically — ops that depend on the current
+round (crash windows) carry the round they originally fired at, and the
+replay fails loudly on drift — so a shrunk counterexample checked into
+``tests/corpus/`` is a permanent regression test, run by tier-1
+(``tests/test_fuzz.py``) and by ``repro fuzz --corpus``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "load_scenario",
+    "save_scenario",
+    "replay_scenario",
+    "iter_corpus",
+]
+
+SCENARIO_SCHEMA_VERSION = 1
+
+
+def save_scenario(scenario: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(scenario, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_scenario(path: str | Path) -> dict:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"unreadable fuzz scenario {path}: {exc}") from exc
+    _validate(data, source=str(path))
+    return data
+
+
+def _validate(data: dict, *, source: str) -> None:
+    if not isinstance(data, dict) or data.get("kind") != "fuzz_scenario":
+        raise ExperimentError(f"{source}: not a fuzz_scenario payload")
+    if data.get("schema_version") != SCENARIO_SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{source}: unsupported scenario schema {data.get('schema_version')!r}"
+        )
+    if data.get("machine") not in ("ghs", "retry"):
+        raise ExperimentError(f"{source}: unknown machine {data.get('machine')!r}")
+    if not isinstance(data.get("params"), dict) or not isinstance(
+        data.get("ops"), list
+    ):
+        raise ExperimentError(f"{source}: scenario needs 'params' and 'ops'")
+
+
+def _build_world(data: dict, *, configs=None, record_fates: bool = True):
+    params = data["params"]
+    if data["machine"] == "ghs":
+        from repro.fuzz.world import GHSFuzzWorld
+
+        kwargs = dict(
+            n=params["n"],
+            seed=params["seed"],
+            algorithm=params.get("algorithm", "MGHS"),
+            fault_seed=params.get("fault_seed", 0),
+            drop_rate=params.get("drop_rate", 0.0),
+            dup_rate=params.get("dup_rate", 0.0),
+            link_loss=tuple(
+                ((u, v), p) for u, v, p in params.get("link_loss", ())
+            ),
+            dead_nodes=tuple(params.get("dead_nodes", ())),
+            cap_slack=params.get("cap_slack", 1.0),
+            record_fates=record_fates,
+        )
+        if configs is not None:
+            kwargs["configs"] = configs
+        return GHSFuzzWorld(**kwargs)
+    from repro.fuzz.retry_world import RetryFuzzWorld
+
+    return RetryFuzzWorld(
+        n=params["n"],
+        fault_seed=params.get("fault_seed", 0),
+        drop_rate=params.get("drop_rate", 0.0),
+        dup_rate=params.get("dup_rate", 0.0),
+        link_loss=tuple(((u, v), p) for u, v, p in params.get("link_loss", ())),
+        crashes=tuple(tuple(c) for c in params.get("crashes", ())),
+        record_fates=record_fates,
+    )
+
+
+def replay_scenario(data: dict, *, configs=None, record_fates: bool = True):
+    """Rebuild the world and re-apply every recorded op; returns the world.
+
+    Raises whatever the original failure raised if the scenario still
+    reproduces it; a clean return means the counterexample is fixed (the
+    corpus test asserts exactly that).  ``configs`` narrows a GHS replay
+    to a subset of kernel configurations (trace capture wants one).
+    """
+    _validate(data, source="scenario")
+    world = _build_world(data, configs=configs, record_fates=record_fates)
+    ghs = data["machine"] == "ghs"
+    for op in data["ops"]:
+        name, args = op[0], op[1:]
+        if name == "advance":
+            world.advance(args[0])
+        elif name == "run_rounds":
+            world.run_rounds(args[0])
+        elif name == "retry_tick":
+            world.retry_tick()
+        elif name == "send":
+            world.send(args[0], args[1])
+        elif name == "crash":
+            world.crash(args[0], args[1], expect_start=args[2] if len(args) > 2 else None)
+        elif name == "crash_forever":
+            world.crash_forever(args[0], expect_start=args[1] if len(args) > 1 else None)
+        elif name == "set_cap":
+            world.set_cap(args[0])
+        elif name == "drain":
+            world.drain()
+        elif name == "finish":
+            world.finish()
+        else:
+            raise ExperimentError(f"scenario op {name!r} unknown")
+    # Make every replay reach the endgame invariants, whether or not the
+    # recorded sequence ended with an explicit finish/drain.
+    if ghs:
+        if not world.finished:
+            world.finish()
+    elif not world.drained:
+        world.drain()
+    return world
+
+
+def iter_corpus(dirpath: str | Path) -> list[Path]:
+    """Sorted scenario files under ``dirpath`` (empty list if absent)."""
+    root = Path(dirpath)
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.glob("*.json") if p.is_file())

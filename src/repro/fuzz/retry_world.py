@@ -1,0 +1,344 @@
+"""Reliable-retry fuzzing world: RetryBuffer + drain_reliable in isolation.
+
+The GHS world exercises the retry layer only through a full protocol;
+this world strips it bare.  :class:`ReliableEchoNode` is the smallest
+possible reliable protocol — send a token, ACK every copy, dedup — and
+:class:`RetryFuzzWorld` drives a line of such nodes through adversarial
+schedules: drops, duplicates, link loss, transient windows, permanent
+deaths, interleaved retry ticks, then a :func:`~repro.sim.faults.
+drain_reliable` settle.  The drain invariants are exactly the reliable
+layer's contract:
+
+* the drain terminates, and afterwards only gone-forever nodes still
+  hold unacknowledged traffic (the pre-fix ``drain_reliable`` idled its
+  full iteration budget here and raised);
+* every token is delivered at most once (receiver dedup), and every
+  token whose sender survives is delivered exactly once;
+* dedup state is fully compacted: a receiver's out-of-order set for any
+  surviving sender is empty, and its watermark equals that sender's
+  stream length (the satellite-2 ``seen`` bound, observed end to end).
+
+The checked-in corpus scenario for the pre-fix drain hang lives in
+``tests/corpus/`` and replays through :mod:`repro.fuzz.corpus`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.fuzz.recorder import RecordingFaultPlane, verify_fate_determinism
+from repro.sim.faults import FaultPlan, _NEVER, drain_reliable, RetryBuffer
+from repro.sim.kernel import SynchronousKernel
+from repro.sim.node import NodeProcess
+
+__all__ = ["ReliableEchoNode", "RetryFuzzWorld"]
+
+#: Start round of the sentinel crash window used to force a null plan to
+#: compile (a FaultPlane must exist for mid-run window mutation); far
+#: beyond any reachable round, far below the _NEVER sentinel.
+_FAR = 1 << 40
+
+
+class ReliableEchoNode(NodeProcess):
+    """Minimal reliable protocol: DATA carries a token, every copy ACKed."""
+
+    def __init__(self, node_id: int, ctx) -> None:
+        super().__init__(node_id, ctx)
+        self.retry = RetryBuffer(ctx)
+        self.delivered: list[tuple[int, int]] = []
+
+    def on_wake(self, signal: str, payload: tuple = ()) -> None:
+        if signal == "send":
+            dst, token = payload
+            self.retry.send(dst, "DATA", (token,))
+        elif signal == "retry_tick":
+            self.retry.tick()
+        else:
+            raise ProtocolError(f"node {self.id}: unknown wake {signal!r}")
+
+    def on_message(self, msg, distance: float) -> None:
+        if msg.kind == "DATA":
+            seq, token = msg.payload
+            # ACK every copy: a duplicate means our previous ACK was lost.
+            self.ctx.unicast(msg.src, "ACK", seq)
+            if not self.retry.accept(msg.src, seq):
+                return
+            self.delivered.append((msg.src, token))
+        elif msg.kind == "ACK":
+            self.retry.on_ack(msg.src, msg.payload[0])
+        else:
+            raise ProtocolError(f"node {self.id}: unknown kind {msg.kind!r}")
+
+
+class RetryFuzzWorld:
+    """A line of echo nodes under an adversarial fault schedule."""
+
+    SPACING = 0.05
+    RADIUS = 0.12  # reaches one- and two-hop line neighbours
+
+    def __init__(
+        self,
+        *,
+        n: int = 6,
+        fault_seed: int = 0,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        link_loss: tuple = (),
+        crashes: tuple = (),
+        record_fates: bool = True,
+    ) -> None:
+        self.n = int(n)
+        self.fault_seed = int(fault_seed)
+        self.drop_rate = float(drop_rate)
+        self.dup_rate = float(dup_rate)
+        self.link_loss = tuple(((int(u), int(v)), float(p)) for (u, v), p in link_loss)
+        norm_crashes = []
+        for spec in crashes:
+            node, start = int(spec[0]), int(spec[1])
+            end = spec[2] if len(spec) > 2 else None
+            if end is None and start > 0:
+                # A planned mid-run permanent death is indistinguishable
+                # from the out-of-scope "participated then died" case the
+                # rules' preconditions exist to avoid; use the
+                # crash_forever rule instead, which checks them.
+                raise ProtocolError(
+                    "retry-world plans only allow end=None crashes at start=0"
+                )
+            norm_crashes.append((node, start, end if end is None else int(end)))
+        self.initial_crashes = tuple(norm_crashes)
+        plan_crashes = self.initial_crashes
+        if not plan_crashes and not any(
+            (self.drop_rate, self.dup_rate, self.link_loss)
+        ):
+            # Force the plan to compile: mid-run crash rules mutate the
+            # plane, so one must exist even for an otherwise-null plan.
+            plan_crashes = ((0, _FAR, _FAR + 1),)
+        self.plan = FaultPlan(
+            seed=self.fault_seed,
+            drop_rate=self.drop_rate,
+            dup_rate=self.dup_rate,
+            link_loss=self.link_loss,
+            crashes=plan_crashes,
+        )
+        points = np.column_stack(
+            [np.arange(self.n) * self.SPACING, np.zeros(self.n)]
+        )
+        self.kernel = SynchronousKernel(
+            points, max_radius=self.RADIUS, faults=self.plan
+        )
+        self.kernel.add_nodes(ReliableEchoNode)
+        self.kernel.start()
+        if record_fates:
+            self.kernel.faults = RecordingFaultPlane(self.kernel.faults)
+        self.nodes = self.kernel.nodes
+        #: Nodes with a real (non-sentinel) crash window, ever.
+        self.windowed: set[int] = {c[0] for c in self.initial_crashes}
+        self.sent: list[tuple[int, int, int]] = []  # (src, dst, token)
+        self.next_token = 0
+        self.ops: list[list] = []
+        self.drained = False
+        self.failed = False
+
+    # -- state predicates for rule preconditions ------------------------------
+
+    @property
+    def _plane(self):
+        fp = self.kernel.faults
+        return fp.inner if isinstance(fp, RecordingFaultPlane) else fp
+
+    def alive_now(self, node: int) -> bool:
+        return not self._plane.crashed(node, self.kernel.rounds)
+
+    def gone_now(self, node: int) -> bool:
+        return self._plane.gone_forever(node, self.kernel.rounds)
+
+    def pending_to(self, node: int) -> list[int]:
+        """Live nodes currently holding unacked traffic addressed to ``node``."""
+        rnd = self.kernel.rounds
+        return [
+            nd.id
+            for nd in self.nodes
+            if nd.id != node
+            and not self._plane.gone_forever(nd.id, rnd)
+            and any(dst == node for dst, _seq in nd.retry.pending)
+        ]
+
+    def sendable_pairs(self) -> list[tuple[int, int]]:
+        """(src, dst) pairs a send rule may legally draw."""
+        rnd = self.kernel.rounds
+        pairs = []
+        for src in range(self.n):
+            if self._plane.crashed(src, rnd):
+                continue
+            for dst in range(max(0, src - 2), min(self.n, src + 3)):
+                if dst != src and not self.gone_now(dst):
+                    pairs.append((src, dst))
+        return pairs
+
+    # -- rules ----------------------------------------------------------------
+
+    def send(self, src: int, dst: int) -> int:
+        src, dst = int(src), int(dst)
+        if not self.alive_now(src):
+            raise ProtocolError(f"send from crashed node {src}")
+        if self.gone_now(dst):
+            raise ProtocolError(f"send to permanently dead node {dst}")
+        token = self.next_token
+        self.next_token += 1
+        self.kernel.wake([src], "send", (dst, token))
+        self.sent.append((src, dst, token))
+        self.ops.append(["send", src, dst])
+        self.drained = False
+        return token
+
+    def run_rounds(self, k: int) -> None:
+        self.ops.append(["run_rounds", int(k)])
+        for _ in range(int(k)):
+            self.kernel.tick()
+
+    def retry_tick(self) -> None:
+        """Adversarial mid-schedule retry burst on every able node."""
+        self.ops.append(["retry_tick"])
+        rnd = self.kernel.rounds
+        able = [
+            nd.id
+            for nd in self.nodes
+            if nd.retry.pending and not self._plane.crashed(nd.id, rnd)
+        ]
+        try:
+            if able:
+                self.kernel.wake(able, "retry_tick")
+            self.kernel.tick()
+        except Exception as exc:
+            self.failed = True
+            raise exc
+
+    def crash(self, node: int, duration: int, expect_start: int | None = None) -> int:
+        node, duration = int(node), int(duration)
+        if node in self.windowed:
+            raise ProtocolError(f"node {node} already has a crash window")
+        if duration < 1:
+            raise ProtocolError(f"crash duration must be >= 1, got {duration}")
+        start = self.kernel.rounds
+        if expect_start is not None and start != int(expect_start):
+            self.failed = True
+            raise ProtocolError(
+                f"scenario drift: crash({node}) expected round {expect_start}, "
+                f"replay reached {start}"
+            )
+        fp = self._plane
+        fp._cstart[node] = start
+        fp._cend[node] = start + duration
+        fp.has_crashes = True
+        self.windowed.add(node)
+        self.ops.append(["crash", node, duration, start])
+        return start
+
+    def crash_forever(self, node: int, expect_start: int | None = None) -> int:
+        """Permanently kill ``node`` — legal only when no *live* peer
+        still holds unacked traffic addressed to it (that traffic could
+        never drain and would exhaust the sender's retries)."""
+        node = int(node)
+        if node in self.windowed:
+            raise ProtocolError(f"node {node} already has a crash window")
+        holders = self.pending_to(node)
+        if holders:
+            raise ProtocolError(
+                f"cannot kill node {node}: nodes {holders} hold unacked "
+                "traffic addressed to it"
+            )
+        start = self.kernel.rounds
+        if expect_start is not None and start != int(expect_start):
+            self.failed = True
+            raise ProtocolError(
+                f"scenario drift: crash_forever({node}) expected round "
+                f"{expect_start}, replay reached {start}"
+            )
+        fp = self._plane
+        fp._cstart[node] = start
+        fp._cend[node] = _NEVER
+        fp.has_crashes = True
+        self.windowed.add(node)
+        self.ops.append(["crash_forever", node, start])
+        return start
+
+    def drain(self) -> None:
+        """Settle and check the reliable layer's full contract."""
+        self.ops.append(["drain"])
+        try:
+            drain_reliable(self.kernel, self.nodes, max_iters=5000)
+            self.drained = True
+            self.check_drained()
+        except Exception as exc:
+            self.failed = True
+            raise exc
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_drained(self) -> None:
+        rnd = self.kernel.rounds
+        fp = self._plane
+        gone = {nd.id for nd in self.nodes if fp.gone_forever(nd.id, rnd)}
+        for nd in self.nodes:
+            if nd.retry.pending and nd.id not in gone:
+                raise ProtocolError(
+                    f"live node {nd.id} holds {len(nd.retry.pending)} "
+                    "unacked messages after drain"
+                )
+        # Dedup: every token delivered at most once, globally.
+        all_delivered: set[int] = set()
+        for nd in self.nodes:
+            for _src, token in nd.delivered:
+                if token in all_delivered:
+                    raise ProtocolError(f"token {token} delivered more than once")
+                all_delivered.add(token)
+        # Liveness: a surviving sender's every token arrived.
+        for src, dst, token in self.sent:
+            if src in gone:
+                continue  # its unacked traffic is legitimately stuck
+            if token not in all_delivered:
+                raise ProtocolError(
+                    f"token {token} ({src} -> {dst}) lost despite the "
+                    "sender surviving"
+                )
+        # Compaction: dedup state for surviving senders is fully folded.
+        for nd in self.nodes:
+            for src, extra in nd.retry.seen.items():
+                if src in gone:
+                    continue  # a dead sender may leave a gap parked forever
+                if extra:
+                    raise ProtocolError(
+                        f"node {nd.id} parked out-of-order seqs {sorted(extra)} "
+                        f"from surviving sender {src} after drain"
+                    )
+                stream = self.nodes[src].retry.next_seq.get(nd.id, 0)
+                lo = nd.retry._seen_lo.get(src, 0)
+                if lo != stream:
+                    raise ProtocolError(
+                        f"node {nd.id} watermark for sender {src} is {lo}, "
+                        f"expected the full stream length {stream}"
+                    )
+        fpr = self.kernel.faults
+        if isinstance(fpr, RecordingFaultPlane):
+            verify_fate_determinism(fpr)
+
+    # -- artifacts --------------------------------------------------------------
+
+    def to_scenario(self) -> dict:
+        return {
+            "schema_version": 1,
+            "kind": "fuzz_scenario",
+            "machine": "retry",
+            "params": {
+                "n": self.n,
+                "fault_seed": self.fault_seed,
+                "drop_rate": self.drop_rate,
+                "dup_rate": self.dup_rate,
+                "link_loss": [[u, v, p] for (u, v), p in self.link_loss],
+                "crashes": [
+                    [node, start, end] for node, start, end in self.initial_crashes
+                ],
+            },
+            "ops": [list(op) for op in self.ops],
+        }

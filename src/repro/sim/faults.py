@@ -246,7 +246,10 @@ class FaultPlane:
 
     def gone_forever(self, node: int, rnd: int) -> bool:
         """Crashed in ``rnd`` with no scheduled restart."""
-        return bool(self._cstart[node] <= rnd) and self._cend[node] >= _NEVER
+        # The whole conjunction is wrapped: ``a and b`` short-circuits, and
+        # returning the raw numpy comparison would leak ``np.bool_`` into
+        # callers that pin on the builtin (JSON writers, identity checks).
+        return bool((self._cstart[node] <= rnd) and (self._cend[node] >= _NEVER))
 
     def gone_mask(self, node_ids: np.ndarray, rnd: int) -> np.ndarray:
         """Vectorized :meth:`gone_forever`."""
@@ -356,48 +359,75 @@ class RetryBuffer:
     """Per-node reliable-unicast layer: seq numbers, ACKs, dedup, backoff.
 
     A reliable node sends protocol unicasts through :meth:`send`, which
-    prepends a fresh sequence number.  The receiver ACKs every reliable
-    message (ACKs themselves are unreliable — a lost ACK just causes a
-    retransmission that the receiver's ``(src, seq)`` dedup set absorbs)
-    and processes only first deliveries.  Unacknowledged messages are
-    retransmitted when the driver issues a ``retry_tick`` wake, after a
-    capped exponential backoff counted in ticks (the synchronous stand-in
-    for a node-local timeout).
+    prepends a fresh per-destination sequence number.  The receiver ACKs
+    every reliable message (ACKs themselves are unreliable — a lost ACK
+    just causes a retransmission that the receiver's per-sender dedup
+    state absorbs) and processes only first deliveries.  Unacknowledged
+    messages are retransmitted when the driver issues a ``retry_tick``
+    wake, after a capped exponential backoff counted in ticks (the
+    synchronous stand-in for a node-local timeout).
+
+    Sequence numbers form one independent stream per destination, so the
+    receiver side can compact its dedup state: for each sender it keeps
+    only the first sequence number not yet seen (``_seen_lo``) plus the
+    finite set of out-of-order arrivals beyond it (``seen``).  Under
+    in-order delivery the set stays empty no matter how long the run is;
+    a reordered or duplicated burst grows it only by the width of the
+    reorder window.
     """
 
-    __slots__ = ("ctx", "max_retries", "backoff_cap", "next_seq", "pending", "seen")
+    __slots__ = ("ctx", "max_retries", "backoff_cap", "next_seq", "pending", "seen", "_seen_lo")
 
     def __init__(self, ctx, *, max_retries: int = 400, backoff_cap: int = 4) -> None:
         self.ctx = ctx
         self.max_retries = max_retries
         self.backoff_cap = backoff_cap
-        self.next_seq = 0
-        #: seq -> [dst, kind, payload, attempts, ticks-until-retry]
-        self.pending: dict[int, list] = {}
-        self.seen: set[tuple[int, int]] = set()
+        #: dst -> next sequence number on the stream to that destination.
+        self.next_seq: dict[int, int] = {}
+        #: (dst, seq) -> [dst, kind, payload, attempts, ticks-until-retry]
+        self.pending: dict[tuple[int, int], list] = {}
+        #: src -> out-of-order seqs received beyond the compacted prefix.
+        self.seen: dict[int, set[int]] = {}
+        #: src -> lowest seq not yet covered by the contiguous prefix.
+        self._seen_lo: dict[int, int] = {}
 
     def send(self, dst: int, kind: str, payload: tuple) -> None:
         """Transmit ``kind(seq, *payload)`` and arm the retry timer."""
-        seq = self.next_seq
-        self.next_seq += 1
-        self.pending[seq] = [dst, kind, payload, 0, 1]
+        seq = self.next_seq.get(dst, 0)
+        self.next_seq[dst] = seq + 1
+        self.pending[(dst, seq)] = [dst, kind, payload, 0, 1]
         self.ctx.unicast(dst, kind, seq, *payload)
 
-    def on_ack(self, seq: int) -> None:
+    def on_ack(self, src: int, seq: int) -> None:
         """Retire a delivered message (idempotent for duplicate ACKs)."""
-        self.pending.pop(seq, None)
+        self.pending.pop((src, seq), None)
 
     def accept(self, src: int, seq: int) -> bool:
         """First delivery of ``(src, seq)``?  Duplicates return False."""
-        key = (src, seq)
-        if key in self.seen:
+        lo = self._seen_lo.get(src, 0)
+        if seq < lo:
+            return False  # inside the compacted prefix: definitely a dup
+        extra = self.seen.get(src)
+        if extra is None:
+            extra = self.seen[src] = set()
+        if seq in extra:
             return False
-        self.seen.add(key)
+        extra.add(seq)
+        # Fold the contiguous prefix into the watermark.
+        while lo in extra:
+            extra.remove(lo)
+            lo += 1
+        self._seen_lo[src] = lo
         return True
 
     def tick(self) -> None:
         """One timeout tick: retransmit everything whose backoff expired."""
-        for seq, ent in self.pending.items():
+        # Snapshot: retransmitting can deliver synchronously on some
+        # delivery paths, and the resulting ACK retires entries from
+        # ``pending`` mid-iteration.
+        for (dst, seq), ent in list(self.pending.items()):
+            if (dst, seq) not in self.pending:
+                continue  # retired by an ACK triggered earlier in this tick
             ent[4] -= 1
             if ent[4] > 0:
                 continue
@@ -408,7 +438,7 @@ class RetryBuffer:
                     f"{self.max_retries} retries (peer permanently down?)"
                 )
             ent[4] = min(1 << ent[3], self.backoff_cap)
-            self.ctx.unicast(ent[0], ent[1], seq, *ent[2])
+            self.ctx.unicast(dst, ent[1], seq, *ent[2])
 
 
 def drain_reliable(kernel, nodes, *, max_iters: int = 20000) -> None:
@@ -417,7 +447,13 @@ def drain_reliable(kernel, nodes, *, max_iters: int = 20000) -> None:
     The minimal settle loop for protocols whose only recovery mechanism
     is the :class:`RetryBuffer` (Co-NNT): alternate quiescence with
     ``retry_tick`` wakes, idling the clock (``kernel.tick``) through
-    rounds where backoff or a crash window prevents any transmission.
+    rounds where backoff or a transient crash window prevents any
+    transmission.  Holders that are gone forever (crashed with no
+    scheduled restart) are excluded from the drain condition: their
+    unacknowledged traffic can never move again, and the recovery audit
+    (:func:`repro.algorithms.ghs.audit.audit_pending_retry`) explicitly
+    tolerates it — without the exclusion the loop idles ``max_iters``
+    ticks waiting for a restart that never comes, then raises.
     """
     fp = kernel.faults
     for _ in range(max_iters):
@@ -432,7 +468,10 @@ def drain_reliable(kernel, nodes, *, max_iters: int = 20000) -> None:
         ]
         if not holders:
             return
-        alive = [i for i in holders if not fp.crashed(i, rnd)]
+        live = [i for i in holders if not fp.gone_forever(i, rnd)]
+        if not live:
+            return  # only permanently dead nodes hold traffic: drained
+        alive = [i for i in live if not fp.crashed(i, rnd)]
         if alive:
             if trace.enabled:
                 trace.emit("retry", round=rnd, nodes=len(alive))
@@ -440,5 +479,5 @@ def drain_reliable(kernel, nodes, *, max_iters: int = 20000) -> None:
             if not kernel.in_flight:
                 kernel.tick()  # backoff armed: let a round pass
         else:
-            kernel.tick()  # every holder is down: wait out the window
+            kernel.tick()  # every live holder is down: wait out the window
     raise ProtocolError(f"reliable traffic did not drain in {max_iters} settle iterations")

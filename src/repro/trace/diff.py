@@ -48,6 +48,16 @@ class Divergence:
     right: dict | None
     context: tuple[dict, ...] = field(default=())
 
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable payload (fuzz counterexample exports)."""
+        return {
+            "kind": "trace_divergence",
+            "index": self.index,
+            "left": self.left,
+            "right": self.right,
+            "context": list(self.context),
+        }
+
 
 def diff_traces(
     a: Sequence[dict], b: Sequence[dict], *, context: int = 3

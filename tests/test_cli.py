@@ -160,6 +160,17 @@ class TestTraceFlags:
         assert main(["trace-diff", str(a), str(b)]) == 1
         assert "diverge at event" in capsys.readouterr().out
 
+    def test_fuzz_smoke_with_corpus(self, capsys):
+        assert main(["fuzz", "--machine", "retry", "--examples", "4",
+                     "--steps", "12", "--corpus", "tests/corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "machine retry: ok" in out
+        assert "scenario(s) replayed" in out
+
+    def test_fuzz_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--machine", "nope"])
+
 
 class TestSpecFlags:
     def test_emit_spec_writes_valid_json(self, capsys, tmp_path):
