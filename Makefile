@@ -3,14 +3,16 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke fuzz-smoke fuzz-deep golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke serve-smoke fuzz-smoke fuzz-deep golden-regen
 
 # Tier 1: lint gate plus the full unit/property suite (must stay green),
 # plus the run-cache smoke so a cache regression cannot land silently,
+# plus the serve smoke (HTTP byte-identity; see docs/architecture.md),
 # plus the bounded fuzz smoke (deterministic; see docs/fuzzing.md).
 verify: lint
 	$(PY) -m pytest -x -q
 	$(PY) benchmarks/bench_run_cache.py --quick
+	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 
 # Bounded, derandomized stateful fuzzing pass: replay the checked-in
@@ -83,6 +85,13 @@ spec-smoke:
 # fabric.  Writes benchmarks/out/BENCH_cache.json.  See docs/performance.md.
 cache-smoke:
 	$(PY) benchmarks/bench_run_cache.py --quick
+
+# Serve smoke: boot `repro serve` against a throwaway cache, golden spec
+# submitted cold then warm across a restart (second response must be a
+# store hit, byte-identical — exit 2 on divergence), plus an 8-client
+# singleflight race.  Writes benchmarks/out/BENCH_serve.json.
+serve-smoke:
+	$(PY) benchmarks/bench_serve_smoke.py --quick
 
 # Rebuild the golden stats snapshots deliberately (full configs).  The
 # goldens gate the benchmarks above; never hand-edit the JSON — rerun

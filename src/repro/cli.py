@@ -229,7 +229,9 @@ def _cmd_fuzz(args) -> int:
 
     from repro.fuzz.machine import run_fuzz
 
-    machines = ["ghs", "retry"] if args.machine == "all" else [args.machine]
+    machines = (
+        ["ghs", "retry", "connt"] if args.machine == "all" else [args.machine]
+    )
     for name in machines:
         out = run_fuzz(
             name,
@@ -246,6 +248,45 @@ def _cmd_fuzz(args) -> int:
             for kind, path in out.artifacts.items():
                 print(f"  {kind}: {path}")
     return rc
+
+
+def _cmd_serve(args) -> int:
+    """Run the HTTP run service (docs/architecture.md, serve layer)."""
+    import asyncio
+
+    from repro.serve import serve
+
+    store = None
+    if not args.no_cache:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.cache_path)
+
+    def ready(bound) -> None:
+        where = store.path if store is not None else "off"
+        print(
+            f"repro serve listening on http://{bound[0]}:{bound[1]}  "
+            f"(store: {where}, backend: {args.backend})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                store=store,
+                backend=args.backend,
+                workers=args.workers,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if store is not None:
+            store.close()
+    return 0
 
 
 def _cmd_fig3a(args) -> int:
@@ -562,7 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fz.add_argument(
         "--machine",
-        choices=["ghs", "retry", "all"],
+        choices=["ghs", "retry", "connt", "all"],
         default="all",
         help="which state machine(s) to run",
     )
@@ -589,6 +630,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for counterexample artifacts on failure",
     )
     fz.set_defaults(func=_cmd_fuzz)
+
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP run service: submit RunSpecs over the wire, results "
+        "memoized through the store",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="bind port (0 picks an ephemeral port and prints it)",
+    )
+    sv.add_argument(
+        "--cache-path",
+        default=None,
+        help="result-store database (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    sv.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a result store (every submission recomputes)",
+    )
+    sv.add_argument(
+        "--backend",
+        choices=["serial", "process"],
+        default="process",
+        help="engine fan-out backend for submitted runs",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: CPU count)",
+    )
+    sv.set_defaults(func=_cmd_serve, spec_managed=True)
 
     rd = sub.add_parser("render", help="SVG of an instance with MST + NNT")
     rd.add_argument("-n", type=int, default=300)

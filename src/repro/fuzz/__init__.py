@@ -3,8 +3,9 @@
 The subsystem has two halves:
 
 * hypothesis-free core — :mod:`~repro.fuzz.harness` (a resumable,
-  step-at-a-time twin of the recovery driver), :mod:`~repro.fuzz.world`
-  and :mod:`~repro.fuzz.retry_world` (rule targets with built-in
+  step-at-a-time twin of the recovery driver), :mod:`~repro.fuzz.world`,
+  :mod:`~repro.fuzz.retry_world` and :mod:`~repro.fuzz.connt_world`
+  (rule targets with built-in
   invariants), :mod:`~repro.fuzz.recorder` (fate-determinism replay),
   :mod:`~repro.fuzz.corpus` (exact-replay scenario JSON).  These import
   with the base toolchain and power the tier-1 corpus regression tests.
@@ -23,6 +24,7 @@ from repro.fuzz.corpus import (
     replay_scenario,
     save_scenario,
 )
+from repro.fuzz.connt_world import ConntRetryWorld
 from repro.fuzz.harness import StepHarness
 from repro.fuzz.recorder import RecordingFaultPlane, verify_fate_determinism
 from repro.fuzz.retry_world import RetryFuzzWorld
@@ -32,6 +34,7 @@ __all__ = [
     "StepHarness",
     "GHSFuzzWorld",
     "RetryFuzzWorld",
+    "ConntRetryWorld",
     "RecordingFaultPlane",
     "verify_fate_determinism",
     "default_configs",

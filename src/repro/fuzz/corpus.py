@@ -51,7 +51,7 @@ def _validate(data: dict, *, source: str) -> None:
         raise ExperimentError(
             f"{source}: unsupported scenario schema {data.get('schema_version')!r}"
         )
-    if data.get("machine") not in ("ghs", "retry"):
+    if data.get("machine") not in ("ghs", "retry", "connt"):
         raise ExperimentError(f"{source}: unknown machine {data.get('machine')!r}")
     if not isinstance(data.get("params"), dict) or not isinstance(
         data.get("ops"), list
@@ -81,6 +81,21 @@ def _build_world(data: dict, *, configs=None, record_fates: bool = True):
         if configs is not None:
             kwargs["configs"] = configs
         return GHSFuzzWorld(**kwargs)
+    if data["machine"] == "connt":
+        from repro.fuzz.connt_world import ConntRetryWorld
+
+        return ConntRetryWorld(
+            n=params["n"],
+            seed=params.get("seed", 0),
+            fault_seed=params.get("fault_seed", 0),
+            drop_rate=params.get("drop_rate", 0.0),
+            dup_rate=params.get("dup_rate", 0.0),
+            link_loss=tuple(
+                ((u, v), p) for u, v, p in params.get("link_loss", ())
+            ),
+            crashes=tuple(tuple(c) for c in params.get("crashes", ())),
+            record_fates=record_fates,
+        )
     from repro.fuzz.retry_world import RetryFuzzWorld
 
     return RetryFuzzWorld(
@@ -104,11 +119,13 @@ def replay_scenario(data: dict, *, configs=None, record_fates: bool = True):
     """
     _validate(data, source="scenario")
     world = _build_world(data, configs=configs, record_fates=record_fates)
-    ghs = data["machine"] == "ghs"
+    machine = data["machine"]
     for op in data["ops"]:
         name, args = op[0], op[1:]
         if name == "advance":
             world.advance(args[0])
+        elif name == "probe_step":
+            world.probe_step()
         elif name == "run_rounds":
             world.run_rounds(args[0])
         elif name == "retry_tick":
@@ -129,11 +146,11 @@ def replay_scenario(data: dict, *, configs=None, record_fates: bool = True):
             raise ExperimentError(f"scenario op {name!r} unknown")
     # Make every replay reach the endgame invariants, whether or not the
     # recorded sequence ended with an explicit finish/drain.
-    if ghs:
-        if not world.finished:
-            world.finish()
-    elif not world.drained:
-        world.drain()
+    if machine == "retry":
+        if not world.drained:
+            world.drain()
+    elif not world.finished:
+        world.finish()
     return world
 
 

@@ -1,6 +1,6 @@
 """Hypothesis state machines over the fuzz worlds, plus the entry point.
 
-Two machines:
+Three machines:
 
 * :class:`GHSFuzzMachine` — one :class:`~repro.fuzz.world.GHSFuzzWorld`
   per example: advance by partial rounds, open transient crash windows,
@@ -11,6 +11,10 @@ Two machines:
   RetryFuzzWorld`: reliable sends, adversarial retry ticks, transient
   and permanent crashes, then a ``drain_reliable`` settle whose
   invariants are the reliable layer's contract.
+* :class:`ConntFuzzMachine` — one :class:`~repro.fuzz.connt_world.
+  ConntRetryWorld`: the same reliable layer embedded in real Co-NNT
+  REPLY/CONNECTION traffic, phase steps interleaved with crash windows
+  and retry bursts, finishing through the runner's stranded re-probe.
 
 When a sequence fails, hypothesis shrinks it to a minimal rule list;
 :func:`run_fuzz` then exports the shrunk world as a replayable scenario
@@ -37,12 +41,14 @@ from hypothesis.stateful import (
 )
 
 from repro.fuzz import strategies as fst
+from repro.fuzz.connt_world import ConntRetryWorld
 from repro.fuzz.retry_world import RetryFuzzWorld
 from repro.fuzz.world import GHSFuzzWorld
 
 __all__ = [
     "GHSFuzzMachine",
     "RetryFuzzMachine",
+    "ConntFuzzMachine",
     "FuzzOutcome",
     "make_machine",
     "fuzz_settings",
@@ -244,7 +250,93 @@ class RetryFuzzMachine(RuleBasedStateMachine):
             _LAST["world"] = w
 
 
-_MACHINES = {"ghs": GHSFuzzMachine, "retry": RetryFuzzMachine}
+class ConntFuzzMachine(RuleBasedStateMachine):
+    SEED_OFFSET = 0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.world: ConntRetryWorld | None = None
+
+    def _running(self) -> bool:
+        w = self.world
+        return w is not None and not w.failed and not w.finished
+
+    @initialize(params=fst.connt_instances)
+    def init(self, params):
+        n = params["n"]
+        crashes = []
+        if params["dead_node"] is not None:
+            crashes.append((params["dead_node"] % n, 0, None))
+        if params["window"] is not None:
+            node, start, dur = params["window"]
+            node %= n
+            if all(c[0] != node for c in crashes):
+                crashes.append((node, start, start + dur))
+        self.world = ConntRetryWorld(
+            n=n,
+            seed=(params["seed"] + 10 * self.SEED_OFFSET) % 1000,
+            fault_seed=(params["fault_seed"] + 1000 * self.SEED_OFFSET)
+            % 100_000,
+            drop_rate=params["drop_rate"],
+            dup_rate=params["dup_rate"],
+            link_loss=tuple(
+                ((u % n, v % n), p)
+                for (u, v), p in params["link_loss"]
+                if u % n != v % n
+            ),
+            crashes=tuple(crashes),
+        )
+        _LAST["world"] = self.world
+
+    # No precondition beyond "example is alive": hypothesis needs at
+    # least one enabled rule at every step, including after finish.
+    @precondition(lambda self: self.world is not None and not self.world.failed)
+    @rule()
+    def probe_step(self):
+        if not self.world.finished:
+            self.world.probe_step()
+
+    @precondition(_running)
+    @rule(k=st.integers(1, 10))
+    def run_rounds(self, k):
+        self.world.run_rounds(k)
+
+    @precondition(_running)
+    @rule()
+    def retry_tick(self):
+        self.world.retry_tick()
+
+    @precondition(
+        lambda self: self._running()
+        and len(self.world.windowed) < self.world.n - 1
+    )
+    @rule(data=st.data(), duration=st.integers(1, 8))
+    def crash(self, data, duration):
+        candidates = [
+            i for i in range(self.world.n) if i not in self.world.windowed
+        ]
+        node = data.draw(st.sampled_from(candidates), label="crash_node")
+        self.world.crash(node, duration)
+
+    @precondition(_running)
+    @rule()
+    def finish(self):
+        self.world.finish()
+
+    def teardown(self):
+        w = self.world
+        try:
+            if w is not None and not w.failed and not w.finished:
+                w.finish()
+        finally:
+            _LAST["world"] = w
+
+
+_MACHINES = {
+    "ghs": GHSFuzzMachine,
+    "retry": RetryFuzzMachine,
+    "connt": ConntFuzzMachine,
+}
 
 
 def make_machine(machine: str = "ghs", *, seed: int = 0, configs=None):

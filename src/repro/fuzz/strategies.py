@@ -17,6 +17,7 @@ __all__ = [
     "link_loss_entries",
     "ghs_instances",
     "retry_instances",
+    "connt_instances",
 ]
 
 #: Loss/duplication grids: off, light, heavy (p=1.0 only on single links —
@@ -59,6 +60,27 @@ ghs_instances = st.fixed_dictionaries(
         "link_loss": link_loss_entries(8),
         "dead_nodes": st.lists(st.integers(0, 9), max_size=2, unique=True),
         "cap_slack": st.sampled_from([1.0, 1.25]),
+    }
+)
+
+#: Co-NNT-world constructor draws: a small unit-square instance whose
+#: REPLY/CONNECTION traffic rides the reliable layer.  Same crash
+#: envelope as the retry world minus mid-run permanent deaths (reliable
+#: traffic to a gone-forever peer exhausts its retry budget by design —
+#: the documented out-of-scope case).
+connt_instances = st.fixed_dictionaries(
+    {
+        "n": st.integers(5, 9),
+        "seed": st.integers(0, 5),
+        "fault_seed": st.integers(0, 99),
+        "drop_rate": st.sampled_from([0.0, 0.1, 0.25]),
+        "dup_rate": st.sampled_from([0.0, 0.2]),
+        "link_loss": link_loss_entries(5),
+        "dead_node": st.one_of(st.none(), st.integers(0, 4)),
+        "window": st.one_of(
+            st.none(),
+            st.tuples(st.integers(0, 4), st.integers(0, 6), st.integers(1, 8)),
+        ),
     }
 )
 

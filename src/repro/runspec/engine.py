@@ -43,9 +43,15 @@ least as large as the requested worker count; :func:`shutdown` tears it
 down (releasing fabric segments with it), and an ``atexit`` hook reaps
 it at interpreter exit.  When the host cannot spawn a process pool at
 all (sandboxed CI, locked-down containers), the batch degrades to the
-serial backend with a single :class:`RuntimeWarning` instead of raising
-— every cell is deterministic, so the results are identical, only
-slower.
+serial backend with a single :class:`RuntimeWarning` **per process**
+instead of raising — every cell is deterministic, so the results are
+identical, only slower.  A long-lived server fanning every request
+through here would otherwise log the same warning once per request;
+after the first warning the degraded state is surfaced through
+:func:`pool_state` (the serve layer exposes it in ``/stats``) rather
+than the warnings stream.  Pool lifecycle is guarded by a module lock
+so concurrent submitters (serve worker threads) cannot double-spawn or
+tear down a pool another batch is using.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -65,7 +72,7 @@ from repro.runspec.report import RunReport
 from repro.runspec.spec import RunSpec
 from repro.trace import trace
 
-__all__ = ["execute", "execute_batch", "dispatch", "shutdown"]
+__all__ = ["execute", "execute_batch", "dispatch", "pool_state", "shutdown"]
 
 #: Batch backends accepted by :func:`execute_batch`.
 BACKENDS = ("serial", "process")
@@ -158,6 +165,14 @@ def execute(spec: RunSpec, *, store=None) -> RunReport:
 _pool: ProcessPoolExecutor | None = None
 _pool_workers = 0
 
+#: Guards the pool globals: concurrent batches from serve worker threads
+#: must not double-spawn the pool or shut one down mid-``map``.
+_pool_lock = threading.RLock()
+
+#: Set after the first pool-unavailable fallback; later fallbacks stay
+#: silent (the degraded state is queryable via :func:`pool_state`).
+_fallback_warned = False
+
 #: Exceptions that mean "the pool machinery is unusable", as opposed to a
 #: worker raising from inside a run: spawn failures surface as OSError
 #: (EPERM/ENOSYS under sandboxes), missing multiprocessing primitives as
@@ -175,11 +190,12 @@ def _executor(workers: int) -> ProcessPoolExecutor:
     twice per alternation.
     """
     global _pool, _pool_workers
-    if _pool is None or _pool_workers < workers:
-        _shutdown_pool()
-        _pool = ProcessPoolExecutor(max_workers=workers)
-        _pool_workers = workers
-    return _pool
+    with _pool_lock:
+        if _pool is None or _pool_workers < workers:
+            _shutdown_pool()
+            _pool = ProcessPoolExecutor(max_workers=workers)
+            _pool_workers = workers
+        return _pool
 
 
 def _shutdown_pool() -> None:
@@ -190,10 +206,26 @@ def _shutdown_pool() -> None:
     segments the already-shipped manifests reference alive.
     """
     global _pool, _pool_workers
-    if _pool is not None:
-        _pool.shutdown()
-        _pool = None
-        _pool_workers = 0
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown()
+            _pool = None
+            _pool_workers = 0
+
+
+def pool_state() -> dict:
+    """A snapshot of the shared pool for health surfaces (``/stats``).
+
+    ``serial_fallback`` stays ``True`` for the life of the process once
+    a batch has degraded — the warn-once policy means the warnings
+    stream only ever says it once, so this flag is the durable signal.
+    """
+    with _pool_lock:
+        return {
+            "alive": _pool is not None,
+            "workers": _pool_workers,
+            "serial_fallback": _fallback_warned,
+        }
 
 
 def shutdown() -> None:
@@ -274,8 +306,8 @@ def execute_batch(
         (singleflight) and the one report fanned back to each of them.
     backend:
         ``"serial"`` runs in-process; ``"process"`` fans out over the
-        shared process pool (falling back to serial, with one warning,
-        when the host cannot spawn a pool).
+        shared process pool (falling back to serial, with one warning
+        per process, when the host cannot spawn a pool).
     workers:
         Pool size for the process backend; defaults to the CPU count.
     chunk_align:
@@ -360,12 +392,16 @@ def _run_batch(
         # serial backend changes nothing but wall-clock; a genuine
         # per-run error re-raises from the serial execute() below.
         shutdown()
-        warnings.warn(
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            "falling back to the serial backend",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        global _fallback_warned
+        if not _fallback_warned:
+            _fallback_warned = True
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "falling back to the serial backend "
+                "(warned once per process; see pool_state())",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return [execute(s) for s in specs]
     except BaseException:
         # A worker crash or interrupt may leave the shared pool unusable;

@@ -1,0 +1,175 @@
+"""Job objects for the serve layer.
+
+A :class:`Job` is one submitted :class:`~repro.runspec.spec.RunSpec` on
+its way through the broker.  Its identity is the spec's full
+``spec_hash()`` — submitting the same spec twice addresses the same job,
+which is what makes broker-level dedupe and the store short-circuit
+line up with the engine's own singleflight.
+
+Jobs carry an append-only event log (the NDJSON stream behind
+``GET /runs/{id}/events``).  All mutation happens on the event loop
+thread — the broker awaits the compute thread and emits lifecycle
+events before and after, never from inside it — so the log needs no
+locking, only an :class:`asyncio.Event` to wake streaming readers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from repro.runspec.spec import RunSpec
+
+__all__ = ["Job", "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED", "STATES"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every state a job can report; the last three are terminal.
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+_TERMINAL = frozenset((DONE, FAILED, CANCELLED))
+
+#: Cap on trace events copied into a job's stream — bounds broker memory
+#: for traced million-event runs; a truncation marker event records the
+#: cut so clients know the stream is partial (the full trace is still in
+#: the report payload).
+MAX_TRACE_EVENTS = 5000
+
+
+class Job:
+    """One spec moving through the broker (identity = ``spec_hash``)."""
+
+    __slots__ = (
+        "id",
+        "spec",
+        "state",
+        "source",
+        "payload",
+        "error",
+        "created",
+        "finished",
+        "events",
+        "_changed",
+    )
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.id = spec.spec_hash()
+        self.spec = spec
+        self.state = QUEUED
+        #: ``"store"`` | ``"computed"`` | ``None`` while unresolved.
+        self.source: str | None = None
+        #: The canonical report JSON (``RunReport.to_json(indent=None)``)
+        #: — stored and served as the exact bytes, never re-encoded.
+        self.payload: str | None = None
+        self.error: str | None = None
+        self.created = time.time()
+        self.finished: float | None = None
+        self.events: list[dict] = []
+        self._changed = asyncio.Event()
+        self.add_event("queued")
+
+    # -- state transitions (event-loop thread only) -----------------------
+
+    def add_event(self, kind: str, **fields: Any) -> None:
+        """Append one event and wake streaming readers."""
+        event = {"event": kind, "t": time.time(), **fields}
+        self.events.append(event)
+        self._changed.set()
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.add_event("running")
+
+    def finish(self, payload: str, *, source: str) -> None:
+        self.state = DONE
+        self.source = source
+        self.payload = payload
+        self.finished = time.time()
+        self.add_event("done", source=source, nbytes=len(payload))
+
+    def fail(self, error: str) -> None:
+        self.state = FAILED
+        self.error = error
+        self.finished = time.time()
+        self.add_event("failed", error=error)
+
+    def cancel(self) -> None:
+        self.state = CANCELLED
+        self.finished = time.time()
+        self.add_event("cancelled")
+
+    def attach_report_events(self, report_data: dict) -> None:
+        """Copy a report's trace events / perf counters into the stream.
+
+        ``report_data`` is the parsed report payload; works identically
+        for computed and store-served jobs, so a warm replay streams the
+        same instrumentation the original run did.
+        """
+        tsnap = report_data.get("trace")
+        if isinstance(tsnap, (list, tuple)):
+            for event in tsnap[:MAX_TRACE_EVENTS]:
+                if isinstance(event, dict):
+                    self.add_event("trace", **event)
+            if len(tsnap) > MAX_TRACE_EVENTS:
+                self.add_event(
+                    "trace_truncated",
+                    streamed=MAX_TRACE_EVENTS,
+                    total=len(tsnap),
+                )
+        psnap = report_data.get("perf")
+        if isinstance(psnap, dict) and psnap:
+            self.add_event("perf", counters=psnap)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def status(self, *, include_report: bool = True) -> dict:
+        """The ``GET /runs/{id}`` body (parsed-report field included).
+
+        Byte-exact payload consumers use ``GET /runs/{id}/report``,
+        which returns ``self.payload`` verbatim; embedding the parsed
+        object here would otherwise force a re-encode on every poll.
+        """
+        body: dict[str, Any] = {
+            "id": self.id,
+            "spec_hash": self.id,
+            "state": self.state,
+            "source": self.source,
+            "created": self.created,
+            "finished": self.finished,
+            "error": self.error,
+            "events": len(self.events),
+            "algorithm": self.spec.algorithm,
+            "n": self.spec.n,
+        }
+        if include_report and self.payload is not None:
+            body["report"] = json.loads(self.payload)
+        return body
+
+    async def stream_events(self):
+        """Async-iterate the event log, following until terminal.
+
+        Yields every event exactly once in order; returns once the job
+        is terminal and the log is drained.
+        """
+        idx = 0
+        while True:
+            while idx < len(self.events):
+                yield self.events[idx]
+                idx += 1
+            if self.terminal:
+                return
+            self._changed.clear()
+            # Re-check under the cleared flag: a transition between the
+            # drain above and the clear would otherwise be missed.
+            if idx < len(self.events) or self.terminal:
+                continue
+            await self._changed.wait()

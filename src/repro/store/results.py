@@ -20,9 +20,22 @@ store) away from writer locks.  Pruning is LRU by ``last_used`` with a
 monotonic insert sequence as the tiebreak, bounded by ``max_bytes`` of
 payload text.
 
+Concurrency: one instance may be shared across threads (the serve
+broker's job workers and a sweep thread hammering one store).  A single
+connection is opened with ``check_same_thread=False`` and every
+operation is serialized behind an instance lock — sqlite sees one caller
+at a time, so in-process writers can never race each other.  Writers in
+*other processes* are handled by a ``busy_timeout``: instead of raising
+``database is locked`` the moment a cross-process writer holds the WAL
+write lock, sqlite retries for up to :data:`BUSY_TIMEOUT_MS`.  Without
+both, a second thread tripped ``ProgrammingError`` (cross-thread use of
+the connection), which the corruption-recovery path misread as a broken
+database — deleting the file and degrading the store to inert.
+
 Failure policy: the store must *never* crash a run.  A corrupted or
 truncated database file is deleted and recreated cold; any sqlite error
-during an operation triggers one reopen-and-retry, after which the store
+during an operation first rolls back and retries on the live connection
+(transient lock contention), then reopens once, after which the store
 degrades to a permanent miss (``get`` returns ``None``, ``put`` drops
 the payload) for the rest of the process.
 """
@@ -31,6 +44,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 import time
 from pathlib import Path
 
@@ -47,6 +61,10 @@ STORE_SCHEMA = 1
 #: Default payload-size bound (sum of stored JSON bytes) before LRU rows
 #: are pruned.
 DEFAULT_MAX_BYTES = 256 << 20
+
+#: How long sqlite retries against a cross-process writer before
+#: surfacing ``database is locked`` (milliseconds).
+BUSY_TIMEOUT_MS = 10_000
 
 
 def default_store_path() -> Path:
@@ -77,6 +95,7 @@ class ResultStore:
         self.path = str(default_store_path() if path is None else path)
         self.max_bytes = int(max_bytes)
         self._conn: sqlite3.Connection | None = None
+        self._lock = threading.RLock()
         self._open(allow_recreate=True)
 
     # -- lifecycle ---------------------------------------------------------
@@ -96,10 +115,16 @@ class ResultStore:
     def _connect(self) -> sqlite3.Connection:
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        conn = sqlite3.connect(self.path, timeout=10.0)
+        # check_same_thread=False: the connection is shared across the
+        # serve broker's worker threads; the instance lock serializes
+        # every use, so sqlite never sees concurrent calls on it.
+        conn = sqlite3.connect(
+            self.path, timeout=BUSY_TIMEOUT_MS / 1000.0, check_same_thread=False
+        )
         try:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
             # Touching the schema forces sqlite to actually read the file,
             # so truncation/corruption surfaces here, not mid-run.
             row = conn.execute(
@@ -159,12 +184,13 @@ class ResultStore:
 
     def close(self) -> None:
         """Close the connection (idempotent; the store becomes inert)."""
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -175,27 +201,37 @@ class ResultStore:
     # -- guarded execution -------------------------------------------------
 
     def _run(self, op, default):
-        """Run ``op(conn)``; on sqlite failure, reopen cold and retry once.
+        """Run ``op(conn)`` under the instance lock; degrade on failure.
 
-        A second failure degrades the store to inert (every later call
+        Recovery ladder: a sqlite failure first rolls back and retries
+        the op on the live connection (transient contention — a
+        cross-process writer outlasting the busy timeout — must not cost
+        the database), then reopens cold and retries once.  A failure at
+        the last rung degrades the store to inert (every later call
         returns its miss-shaped ``default``) — a broken cache must cost
         wall-clock, never correctness.
         """
-        if self._conn is None:
-            return default
-        try:
-            return op(self._conn)
-        except sqlite3.Error:
-            self.close()
-            self._remove_files()
-            self._open(allow_recreate=False)
+        with self._lock:
             if self._conn is None:
                 return default
             try:
                 return op(self._conn)
             except sqlite3.Error:
+                try:
+                    self._conn.rollback()
+                    return op(self._conn)
+                except sqlite3.Error:
+                    pass
                 self.close()
-                return default
+                self._remove_files()
+                self._open(allow_recreate=False)
+                if self._conn is None:
+                    return default
+                try:
+                    return op(self._conn)
+                except sqlite3.Error:
+                    self.close()
+                    return default
 
     def _bump(self, conn: sqlite3.Connection, counter: str, by: int = 1) -> None:
         conn.execute(
@@ -327,22 +363,48 @@ class ResultStore:
 
     @staticmethod
     def _prune_locked(conn: sqlite3.Connection, max_bytes: int) -> int:
-        """Evict LRU rows until total payload bytes fit; returns #evicted."""
-        total = conn.execute(
-            "SELECT COALESCE(SUM(nbytes), 0) FROM results"
-        ).fetchone()[0]
+        """Evict LRU rows until total payload bytes fit; returns #evicted.
+
+        Runs inside the caller's transaction.  The LRU ordering is a
+        snapshot, and a reader *in another process* may touch a row
+        between the snapshot and our DELETE — evicting it anyway would
+        throw away the entry whose ``get_report`` hit was just counted
+        (the hit stands, the payload vanishes: pure counter drift).
+        Every DELETE is therefore conditional on the row's
+        ``(last_used, seq)`` being exactly what the snapshot saw; a
+        concurrently-touched row no longer matches, survives, and the
+        outer loop re-snapshots to pick the next genuine LRU victim.
+        ``evicted``/``total`` advance only on ``rowcount`` — a skipped
+        row is never double-counted as freed bytes.
+        """
         evicted = 0
-        if total <= max_bytes:
-            return 0
-        for key, nbytes in conn.execute(
-            "SELECT key, nbytes FROM results ORDER BY last_used ASC, seq ASC"
-        ).fetchall():
+        while True:
+            total = conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM results"
+            ).fetchone()[0]
             if total <= max_bytes:
-                break
-            conn.execute("DELETE FROM results WHERE key = ?", (key,))
-            total -= nbytes
-            evicted += 1
-        return evicted
+                return evicted
+            progressed = False
+            for key, nbytes, last_used, seq in conn.execute(
+                "SELECT key, nbytes, last_used, seq FROM results"
+                " ORDER BY last_used ASC, seq ASC"
+            ).fetchall():
+                if total <= max_bytes:
+                    break
+                cur = conn.execute(
+                    "DELETE FROM results"
+                    " WHERE key = ? AND last_used = ? AND seq = ?",
+                    (key, last_used, seq),
+                )
+                if cur.rowcount:
+                    total -= nbytes
+                    evicted += 1
+                    progressed = True
+            if total <= max_bytes or not progressed:
+                # Nothing deletable moved us under the bound (every
+                # candidate was concurrently refreshed): stop rather
+                # than livelock — pruning is advisory, not a guarantee.
+                return evicted
 
     def prune(self, max_bytes: int | None = None) -> int:
         """Evict least-recently-used entries down to the byte bound."""

@@ -25,6 +25,7 @@ from repro.fuzz.corpus import (
     replay_scenario,
     save_scenario,
 )
+from repro.fuzz.connt_world import ConntRetryWorld
 from repro.fuzz.harness import StepHarness
 from repro.fuzz.recorder import RecordingFaultPlane, verify_fate_determinism
 from repro.fuzz.retry_world import RetryFuzzWorld
@@ -226,6 +227,118 @@ class TestRetryFuzzWorld:
         assert verify_fate_determinism(fp) > 0
 
 
+class TestConntRetryWorld:
+    """The reliable layer embedded in real Co-NNT traffic (ROADMAP
+    item 4 headroom): probe phases interleaved with crash windows and
+    retry bursts, invariants checked at finish."""
+
+    def test_clean_world_finishes(self):
+        w = ConntRetryWorld(n=7, seed=1)
+        w.finish()
+        assert w.finished
+        live = [nd for nd in w.nodes]
+        # Exactly one unconnected survivor: the top-ranked node.
+        assert sum(1 for nd in live if nd.connected_to is None) == 1
+
+    def test_faulted_world_meets_contract(self):
+        w = ConntRetryWorld(
+            n=8,
+            seed=2,
+            fault_seed=5,
+            drop_rate=0.25,
+            dup_rate=0.2,
+            link_loss=(((1, 3), 0.5),),
+            crashes=((2, 0, None), (4, 3, 9)),
+        )
+        w.probe_step()
+        w.crash(5, 4)
+        w.retry_tick()
+        w.run_rounds(3)
+        w.finish()  # raises if any reliable-layer invariant fails
+        assert w.finished
+        assert any(
+            nd.retry.accepted for nd in w.nodes if nd.retry is not None
+        )
+
+    def test_planned_midrun_permanent_death_rejected(self):
+        with pytest.raises(ProtocolError, match="start=0"):
+            ConntRetryWorld(n=6, crashes=((0, 3, None),))
+
+    def test_crash_rules_validated(self):
+        w = ConntRetryWorld(n=6, seed=0, crashes=((1, 0, None),))
+        with pytest.raises(ProtocolError, match="already has"):
+            w.crash(1, 5)
+        with pytest.raises(ProtocolError, match="duration"):
+            w.crash(2, 0)
+
+    def test_scenario_roundtrip_replays(self):
+        w = ConntRetryWorld(
+            n=7, seed=3, fault_seed=11, drop_rate=0.25, dup_rate=0.2,
+            crashes=((1, 0, None),),
+        )
+        w.probe_step()
+        w.crash(4, 5)
+        w.retry_tick()
+        w.probe_step()
+        w.finish()
+        replayed = replay_scenario(w.to_scenario())
+        assert replayed.finished and not replayed.failed
+        assert replayed.phase == w.phase
+        assert [
+            (nd.id, nd.connected_to) for nd in replayed.nodes
+        ] == [(nd.id, nd.connected_to) for nd in w.nodes]
+
+    def test_replay_drift_detected(self):
+        w = ConntRetryWorld(n=6, seed=0)
+        w.probe_step()
+        scenario_start = w.crash(3, 4)
+        with pytest.raises(ProtocolError, match="drift"):
+            w2 = ConntRetryWorld(n=6, seed=0)
+            # No probe_step first: the clock is at a different round.
+            w2.crash(3, 4, expect_start=scenario_start + 17)
+
+    def test_world_convicts_unreliable_connection(self, monkeypatch):
+        """Seeded bug: route CONNECTION around the retry layer and the
+        symmetry invariant convicts it — the world's checks are not
+        tautologies over whatever the protocol happens to do."""
+        import repro.algorithms.connt.node as cnode
+
+        monkeypatch.setattr(
+            cnode,
+            "_UNRELIABLE_KINDS",
+            frozenset(("REQUEST", "ACK", "CONNECTION")),
+        )
+        w = ConntRetryWorld(n=7, seed=1, fault_seed=0, drop_rate=0.25)
+        with pytest.raises(ProtocolError, match="not symmetric"):
+            w.finish()
+        assert w.failed
+
+    def test_world_convicts_broken_dedup(self, monkeypatch):
+        """Seeded bug: a receiver that accepts every copy violates the
+        compaction (and, under duplication, at-most-once) invariants."""
+        from repro.fuzz.connt_world import RecordingRetryBuffer
+
+        def no_dedup(self, src, seq):
+            self.accepted.append((src, seq))
+            return True
+
+        monkeypatch.setattr(RecordingRetryBuffer, "accept", no_dedup)
+        w = ConntRetryWorld(n=7, seed=1, fault_seed=3, dup_rate=0.2)
+        with pytest.raises(ProtocolError):
+            w.finish()
+        assert w.failed
+
+    def test_fate_recording_verifies(self):
+        w = ConntRetryWorld(
+            n=6, seed=2, fault_seed=3, drop_rate=0.25, dup_rate=0.2
+        )
+        w.finish()
+        fp = w.kernel.faults
+        assert isinstance(fp, RecordingFaultPlane)
+        assert fp.total_rows > 0
+        assert verify_fate_determinism(fp) > 0
+
+
 class TestCorpus:
     def test_corpus_is_nonempty(self):
         assert len(iter_corpus(CORPUS_DIR)) >= 3
@@ -280,6 +393,16 @@ class TestMachines:
         run_state_machine_as_test(
             make_machine("retry", seed=0),
             settings=fuzz_settings(examples=5, steps=15),
+        )
+
+    def test_connt_machine_smoke(self):
+        from hypothesis.stateful import run_state_machine_as_test
+
+        from repro.fuzz.machine import fuzz_settings, make_machine
+
+        run_state_machine_as_test(
+            make_machine("connt", seed=0),
+            settings=fuzz_settings(examples=3, steps=10),
         )
 
     def test_run_fuzz_catches_seeded_bug(self, tmp_path, monkeypatch):

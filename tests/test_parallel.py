@@ -258,6 +258,7 @@ class TestInstanceFabric:
 
         shutdown()
         monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        monkeypatch.setattr(engine_mod, "_fallback_warned", False)
         specs = self._specs()
         with pytest.warns(RuntimeWarning, match="falling back to the serial"):
             degraded = execute_batch(specs, backend="process", workers=2)
@@ -315,15 +316,19 @@ class TestSerialFallback:
 
         shutdown()
         monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        monkeypatch.setattr(engine_mod, "_fallback_warned", False)
         with pytest.warns(RuntimeWarning, match="falling back to the serial"):
             degraded = sweep_energy_parallel(self.CFG, workers=2)
+        assert engine_mod.pool_state()["serial_fallback"]
         serial = sweep_energy(self.CFG)
         for alg in self.CFG.algorithms:
             assert np.array_equal(degraded.energy[alg], serial.energy[alg])
             assert np.array_equal(degraded.messages[alg], serial.messages[alg])
             assert np.array_equal(degraded.rounds[alg], serial.rounds[alg])
 
-    def test_fallback_warns_exactly_once(self, monkeypatch):
+    def test_fallback_warns_exactly_once_per_process(self, monkeypatch):
+        """A long-lived server degrading on every request must not spam:
+        the first fallback warns, later ones only flip pool_state()."""
         import warnings as warnings_mod
 
         from repro.runspec import engine as engine_mod
@@ -333,11 +338,15 @@ class TestSerialFallback:
 
         shutdown()
         monkeypatch.setattr(engine_mod, "_executor", no_pool)
+        monkeypatch.setattr(engine_mod, "_fallback_warned", False)
         with warnings_mod.catch_warnings(record=True) as caught:
             warnings_mod.simplefilter("always")
             sweep_energy_parallel(self.CFG, workers=2)
+            sweep_energy_parallel(self.CFG, workers=2)  # second degrade: silent
         runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
         assert len(runtime) == 1
+        state = engine_mod.pool_state()
+        assert state["serial_fallback"] and not state["alive"]
 
     def test_worker_error_still_raises(self):
         """A genuine per-run failure must NOT be silently retried serially."""

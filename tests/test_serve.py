@@ -1,0 +1,356 @@
+"""Tests for the HTTP run service: routing, broker dedupe, store
+short-circuit, event streaming and the degradation paths.
+
+Every test talks to a real listening socket (ephemeral port) through
+urllib on an executor thread — the same wire path curl takes — so the
+transport layer (request parsing, close-delimited streams) is exercised,
+not mocked around.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runspec import RunSpec
+from repro.serve import InMemoryBroker, ServeApp, create_app
+from repro.serve.http import run_http_server
+from repro.store import ResultStore
+
+
+def _http(base: str, method: str, path: str, body=None, timeout=30):
+    """One blocking HTTP exchange; returns ``(status, bytes)``."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def run_served(scenario, *, store=None, backend="serial", app=None):
+    """Boot a server, run ``await scenario(call, app)``, tear down.
+
+    ``call(method, path, body=None)`` awaits one HTTP exchange done on
+    an executor thread (urllib blocks; the loop must keep serving).
+    """
+
+    async def main():
+        if app is None:
+            server, the_app = await create_app(
+                "127.0.0.1", 0, store=store, backend=backend
+            )
+        else:
+            the_app = app
+            server = await run_http_server(the_app.handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        base = f"http://127.0.0.1:{port}"
+        loop = asyncio.get_event_loop()
+
+        def call(method, path, body=None):
+            return loop.run_in_executor(None, _http, base, method, path, body)
+
+        try:
+            return await scenario(call, the_app)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await the_app.broker.close()
+
+    return asyncio.run(main())
+
+
+async def wait_done(call, job_id: str) -> dict:
+    for _ in range(600):
+        status, body = await call("GET", f"/runs/{job_id}")
+        assert status == 200
+        state = json.loads(body)
+        if state["state"] in ("done", "failed", "cancelled"):
+            return state
+        await asyncio.sleep(0.02)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+SPEC = {"algorithm": "GHS", "n": 60, "seed": 1, "trace": True, "perf": True}
+
+
+class TestRoutes:
+    def test_healthz_and_stats(self, tmp_path):
+        async def scenario(call, app):
+            status, body = await call("GET", "/healthz")
+            assert status == 200 and json.loads(body) == {"ok": True}
+            status, body = await call("GET", "/stats")
+            stats = json.loads(body)
+            assert status == 200
+            assert stats["store"]["entries"] == 0
+            assert stats["broker"]["queue_depth"] == 0
+            assert set(stats["pool"]) == {"alive", "workers", "serial_fallback"}
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_served(scenario, store=store)
+
+    def test_unknown_routes_and_methods(self):
+        async def scenario(call, app):
+            assert (await call("GET", "/nope"))[0] == 404
+            assert (await call("GET", "/runs/feedbeef"))[0] == 404
+            assert (await call("DELETE", "/healthz"))[0] == 405
+            assert (await call("GET", "/runs"))[0] == 405
+            assert (await call("POST", "/runs/abc/events"))[0] == 405
+            assert (await call("GET", "/runs/abc/unknown"))[0] == 404
+
+        run_served(scenario)
+
+    def test_invalid_spec_is_400(self):
+        async def scenario(call, app):
+            status, body = await call("POST", "/runs", {"algorithm": "NopeMST"})
+            assert status == 400
+            assert "invalid RunSpec" in json.loads(body)["error"]
+            status, body = await call("POST", "/runs", ["not", "an", "object"])
+            assert status == 400
+            # Raw garbage (not JSON at all).
+            status, body = await call("POST", "/runs", "just a string")
+            assert status == 400
+
+        run_served(scenario)
+
+
+class TestSubmitLifecycle:
+    def test_submit_compute_roundtrip(self, tmp_path):
+        async def scenario(call, app):
+            status, body = await call("POST", "/runs", SPEC)
+            assert status == 201
+            sub = json.loads(body)
+            spec = RunSpec.from_dict(SPEC)
+            assert sub["id"] == spec.spec_hash()
+            state = await wait_done(call, sub["id"])
+            assert state["state"] == "done" and state["source"] == "computed"
+            assert state["report"]["spec_hash"] == spec.spec_hash()
+            status, payload = await call("GET", f"/runs/{sub['id']}/report")
+            assert status == 200
+            assert json.loads(payload)["result"]["n"] == SPEC["n"]
+            return payload
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            payload = run_served(scenario, store=store)
+            # What went over the wire is exactly what the store holds.
+            stored = store.get(RunSpec.from_dict(SPEC).result_key())
+            assert payload.decode("utf-8") == stored
+
+    def test_resubmit_dedupes_to_same_job(self, tmp_path):
+        async def scenario(call, app):
+            status1, body1 = await call("POST", "/runs", SPEC)
+            await wait_done(call, json.loads(body1)["id"])
+            status2, body2 = await call("POST", "/runs", SPEC)
+            assert (status1, status2) == (201, 200)
+            assert json.loads(body1)["id"] == json.loads(body2)["id"]
+            stats = json.loads((await call("GET", "/stats"))[1])
+            assert stats["broker"]["computed"] == 1
+            assert stats["broker"]["deduped"] == 1
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_served(scenario, store=store)
+
+    def test_warm_restart_serves_store_hit_byte_identical(self, tmp_path):
+        """The acceptance gate: same spec, second service instance —
+        no recompute, byte-identical payload, /stats shows the hit."""
+
+        async def cold(call, app):
+            status, body = await call("POST", "/runs", SPEC)
+            job_id = json.loads(body)["id"]
+            await wait_done(call, job_id)
+            return (await call("GET", f"/runs/{job_id}/report"))[1]
+
+        async def warm(call, app):
+            status, body = await call("POST", "/runs", SPEC)
+            sub = json.loads(body)
+            assert status == 201  # new job in this broker...
+            assert sub["state"] == "done" and sub["source"] == "store"
+            payload = (await call("GET", f"/runs/{sub['id']}/report"))[1]
+            stats = json.loads((await call("GET", "/stats"))[1])
+            assert stats["broker"]["store_resolved"] == 1
+            assert stats["broker"]["computed"] == 0
+            assert stats["store"]["hits"] >= 1
+            return payload
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            first = run_served(cold, store=store)
+            second = run_served(warm, store=store)
+        assert first == second
+
+    def test_concurrent_submissions_singleflight(self, tmp_path):
+        async def scenario(call, app):
+            results = await asyncio.gather(
+                *(call("POST", "/runs", SPEC) for _ in range(8))
+            )
+            ids = {json.loads(body)["id"] for _, body in results}
+            assert len(ids) == 1
+            assert sorted(status for status, _ in results) == [200] * 7 + [201]
+            await wait_done(call, ids.pop())
+            stats = json.loads((await call("GET", "/stats"))[1])
+            assert stats["broker"]["computed"] == 1
+            assert stats["broker"]["deduped"] == 7
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_served(scenario, store=store)
+
+    def test_serves_without_store(self):
+        async def scenario(call, app):
+            status, body = await call("POST", "/runs", SPEC)
+            state = await wait_done(call, json.loads(body)["id"])
+            assert state["state"] == "done" and state["source"] == "computed"
+            stats = json.loads((await call("GET", "/stats"))[1])
+            assert stats["store"] is None
+
+        run_served(scenario, store=None)
+
+    def test_failed_run_reports_error_and_allows_retry(self):
+        async def scenario(call, app):
+            # Rand-NNT rejects fault plans: a per-run failure, not a
+            # transport error.
+            bad = {
+                "algorithm": "Rand-NNT",
+                "n": 50,
+                "faults": {"seed": 0, "drop_rate": 0.5},
+            }
+            status, body = await call("POST", "/runs", bad)
+            assert status == 201
+            state = await wait_done(call, json.loads(body)["id"])
+            assert state["state"] == "failed"
+            assert "ExperimentError" in state["error"]
+            status, _ = await call(
+                "GET", f"/runs/{json.loads(body)['id']}/report"
+            )
+            assert status == 409
+            # A FAILED job does not absorb resubmits: fresh attempt.
+            status, body2 = await call("POST", "/runs", bad)
+            assert status == 201
+
+        run_served(scenario)
+
+
+class TestEventsStream:
+    def test_ndjson_stream_carries_lifecycle_and_trace(self, tmp_path):
+        async def scenario(call, app):
+            _, body = await call("POST", "/runs", SPEC)
+            job_id = json.loads(body)["id"]
+            await wait_done(call, job_id)
+            status, raw = await call("GET", f"/runs/{job_id}/events")
+            assert status == 200
+            events = [json.loads(line) for line in raw.decode().splitlines()]
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued"
+            assert "running" in kinds
+            assert kinds[-1] == "done"  # terminal event closes the stream
+            assert any(k == "trace" for k in kinds)
+            assert any(k == "perf" for k in kinds)
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_served(scenario, store=store)
+
+    def test_store_replay_streams_same_instrumentation(self, tmp_path):
+        async def run_and_collect(call, app):
+            _, body = await call("POST", "/runs", SPEC)
+            job_id = json.loads(body)["id"]
+            await wait_done(call, job_id)
+            _, raw = await call("GET", f"/runs/{job_id}/events")
+            return [
+                json.loads(line)["event"]
+                for line in raw.decode().splitlines()
+            ]
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            cold = run_served(run_and_collect, store=store)
+            warm = run_served(run_and_collect, store=store)
+        # The replayed job streams the same trace/perf events the
+        # original computed — only the lifecycle prefix differs (no
+        # "running" phase on a store hit).
+        assert [k for k in cold if k == "trace"] == [
+            k for k in warm if k == "trace"
+        ]
+        assert warm.count("perf") == 1 and warm[-1] == "done"
+        assert "running" not in warm
+
+
+class TestCancellation:
+    def test_cancel_queued_job_via_http(self):
+        # A broker that was never started keeps jobs QUEUED forever —
+        # deterministic cancellation without timing games.
+        broker = InMemoryBroker(backend="serial")
+        app = ServeApp(broker)
+
+        async def scenario(call, _app):
+            _, body = await call("POST", "/runs", SPEC)
+            job_id = json.loads(body)["id"]
+            status, body = await call("DELETE", f"/runs/{job_id}")
+            assert status == 200
+            assert json.loads(body)["state"] == "cancelled"
+            # Terminal now: a second DELETE is a no-op success report.
+            status, _ = await call("DELETE", f"/runs/{job_id}")
+            assert status == 200
+            # And a resubmit starts a fresh attempt.
+            status, body = await call("POST", "/runs", SPEC)
+            assert status == 201
+            assert json.loads(body)["state"] == "queued"
+
+        run_served(scenario, app=app)
+
+    def test_cannot_cancel_settled_job(self, tmp_path):
+        async def scenario(call, app):
+            _, body = await call("POST", "/runs", SPEC)
+            job_id = json.loads(body)["id"]
+            await wait_done(call, job_id)
+            status, _ = await call("DELETE", f"/runs/{job_id}")
+            assert status == 409
+
+        run_served(scenario)
+
+
+class TestBrokerUnit:
+    """Broker semantics that need no socket."""
+
+    def test_submit_is_atomic_dedupe(self, tmp_path):
+        async def main():
+            store = ResultStore(tmp_path / "s.sqlite")
+            broker = InMemoryBroker(store=store, backend="serial")
+            spec = RunSpec.from_dict(SPEC)
+            job1, created1 = broker.submit(spec)
+            job2, created2 = broker.submit(spec)
+            assert job1 is job2
+            assert (created1, created2) == (True, False)
+            assert broker.stats()["queue_depth"] == 1
+            store.close()
+
+        asyncio.run(main())
+
+    def test_degraded_store_still_computes(self, tmp_path):
+        """Store unopenable → inert: every probe misses, service runs."""
+
+        async def scenario(call, app):
+            status, body = await call("POST", "/runs", SPEC)
+            assert status == 201
+            state = await wait_done(call, json.loads(body)["id"])
+            assert state["state"] == "done" and state["source"] == "computed"
+            stats = json.loads((await call("GET", "/stats"))[1])
+            assert stats["store"]["entries"] == 0
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.close()
+        store.path = str(tmp_path)  # a directory: unopenable, inert
+        run_served(scenario, store=store)
+
+    def test_oversized_body_rejected(self):
+        async def scenario(call, app):
+            blob = {"algorithm": "GHS", "pad": "x" * (5 * 1024 * 1024)}
+            status, _ = await call("POST", "/runs", blob)
+            assert status == 413
+
+        run_served(scenario)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -276,3 +276,141 @@ class TestStorePayloadIsCanonicalJson:
             payload = store.get(spec.result_key())
         assert payload == fresh.to_json(indent=None)
         assert json.loads(payload)["spec_hash"] == spec.spec_hash()
+
+
+class _TouchOnDelete:
+    """Connection proxy: just before the prune's DELETE reaches
+    ``victim``, bump the row's recency — the exact interleave a
+    concurrent ``get_report`` produces between the prune's LRU
+    snapshot and its eviction."""
+
+    def __init__(self, conn, victim: str):
+        self._conn = conn
+        self.victim = victim
+        self.fired = False
+
+    def execute(self, sql, params=()):
+        if (
+            not self.fired
+            and sql.lstrip().startswith("DELETE")
+            and params
+            and params[0] == self.victim
+        ):
+            self.fired = True
+            self._conn.execute(
+                "UPDATE results SET last_used = last_used + 1000 WHERE key = ?",
+                (self.victim,),
+            )
+        return self._conn.execute(sql, params)
+
+
+class TestStoreConcurrency:
+    """The serve layer shares one store across worker threads; these
+    pin the fixes that make that safe (busy timeout + instance lock +
+    ``check_same_thread=False`` + conditional prune deletes)."""
+
+    def test_two_thread_hammer_no_locked_errors(self, tmp_path):
+        """Before the fix this *silently lost every row*: the
+        cross-thread ``sqlite3.ProgrammingError`` (a subclass of
+        ``sqlite3.Error``) tripped the corruption ladder, which deleted
+        the database files and degraded the store to inert."""
+        import threading
+
+        store = make_store(tmp_path)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(50):
+                    key = f"k-{tid}-{i}"
+                    store.put(key, "x" * 100, algorithm="GHS", n=10)
+                    assert store.get(key) is not None
+            except BaseException as exc:  # noqa: BLE001 - collect for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = store.stats()
+        assert stats["entries"] == 100
+        assert not stats.get("degraded")
+        store.close()
+
+    def test_hammer_with_report_round_trips(self, tmp_path):
+        """Same hammer through the report API: concurrent put_report /
+        get_report must stay byte-identical and lock-free."""
+        import threading
+
+        store = make_store(tmp_path)
+        specs = [RunSpec(algorithm="GHS", n=40 + i) for i in range(4)]
+        reports = [execute(s) for s in specs]
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                for _ in range(15):
+                    for spec, report in zip(specs, reports):
+                        store.put_report(report)
+                        got = store.get_report(spec)
+                        assert got is not None
+                        assert got.to_json() == report.to_json()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.stats()["entries"] == len(specs)
+        store.close()
+
+    def test_prune_spares_concurrently_touched_row(self, tmp_path):
+        """A row the LRU snapshot marked for eviction but a reader
+        touched in between must survive the prune: the DELETE is
+        conditional on the snapshot's ``(last_used, seq)``, and the
+        loop re-snapshots to evict the next genuine victim instead."""
+        with make_store(tmp_path) as store:
+            for i in range(6):
+                store.put(f"key{i}", "x" * 1000)
+            proxy = _TouchOnDelete(store._conn, victim="key0")
+            evicted = ResultStore._prune_locked(proxy, 3000)
+            store._conn.commit()
+            assert proxy.fired
+            # The touched row survived; the next-oldest went instead.
+            assert store.get("key0") is not None
+            assert store.get("key1") is None
+            assert evicted == 3
+            stats = store.stats()
+            assert stats["total_bytes"] <= 3000
+            assert stats["entries"] == 3
+
+    def test_prune_stops_when_every_candidate_is_touched(self, tmp_path):
+        """If *every* candidate gets refreshed mid-prune, the loop must
+        bail out instead of livelocking — pruning is advisory."""
+
+        class _TouchAll(_TouchOnDelete):
+            def execute(self, sql, params=()):
+                if sql.lstrip().startswith("DELETE") and params:
+                    self._conn.execute(
+                        "UPDATE results SET last_used = last_used + 1000"
+                        " WHERE key = ?",
+                        (params[0],),
+                    )
+                return self._conn.execute(sql, params)
+
+        with make_store(tmp_path) as store:
+            for i in range(4):
+                store.put(f"key{i}", "x" * 1000)
+            evicted = ResultStore._prune_locked(
+                _TouchAll(store._conn, victim=""), 1000
+            )
+            store._conn.commit()
+            assert evicted == 0
+            assert store.stats()["entries"] == 4
