@@ -3,17 +3,19 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke cache-smoke serve-smoke fuzz-smoke fuzz-deep golden-regen
+.PHONY: verify lint perf-smoke bench bench-planes bench-scale chaos trace-smoke spec-smoke scenario-smoke cache-smoke serve-smoke fuzz-smoke fuzz-deep golden-regen
 
 # Tier 1: lint gate plus the full unit/property suite (must stay green),
 # plus the run-cache smoke so a cache regression cannot land silently,
 # plus the serve smoke (HTTP byte-identity; see docs/architecture.md),
-# plus the bounded fuzz smoke (deterministic; see docs/fuzzing.md).
+# plus the bounded fuzz smoke (deterministic; see docs/fuzzing.md),
+# plus the scenario smoke (repair-vs-rebuild golden; see docs/scenarios.md).
 verify: lint
 	$(PY) -m pytest -x -q
 	$(PY) benchmarks/bench_run_cache.py --quick
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) scenario-smoke
 
 # Bounded, derandomized stateful fuzzing pass: replay the checked-in
 # counterexample corpus, then a small budget of fresh examples per
@@ -79,6 +81,13 @@ trace-smoke:
 spec-smoke:
 	$(PY) benchmarks/bench_spec_smoke.py
 
+# Scenario-plane smoke: one mixed churn schedule through the MAINT
+# workload with repair vs rebuild checkpoints — spec/report JSON round
+# trips, the repair<rebuild maintenance-energy gate, and the golden
+# stats diff (benchmarks/golden/maintenance.json).  See docs/scenarios.md.
+scenario-smoke:
+	$(PY) benchmarks/bench_maintenance.py --quick
+
 # Run-cache smoke: duplicated sweep through the process backend against
 # a throwaway store — cold/warm timing (>=20x warm gate), byte-identity
 # of cached vs fresh reports, per-worker RSS with and without the SHM
@@ -102,3 +111,4 @@ golden-regen:
 	$(PY) benchmarks/bench_spec_smoke.py --write-golden
 	$(PY) benchmarks/bench_scale.py --quick --write-golden
 	$(PY) benchmarks/bench_run_cache.py --quick --write-golden
+	$(PY) benchmarks/bench_maintenance.py --quick --write-golden

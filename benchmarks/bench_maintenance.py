@@ -1,80 +1,170 @@
-"""MAINT — incremental repair vs full rebuild under node churn.
+#!/usr/bin/env python
+"""MAINT scenario smoke: repair vs rebuild energy on a churn schedule.
 
-The paper's intro motivates energy-awareness with dynamics ("topology ...
-can change frequently due to mobility or node failures").  This bench
-kills an increasing fraction of a built MST's nodes and compares the
-energy of repairing the surviving forest against rebuilding from
-scratch, plus the quality of the repaired tree.
+The ``make scenario-smoke`` gate for the scenario plane.  One mixed
+churn/mobility schedule (crash + join + move per cycle, from
+:func:`repro.scenario.mobility.mixed_plan`) is executed through the
+ordinary runspec engine twice — once with ``repair`` checkpoints
+(incremental reconnection of the surviving forest) and once with
+``rebuild`` checkpoints (from-scratch MGHS every cycle):
+
+* both specs must survive a JSON round trip exactly (exit code 2: the
+  scenario schema broke);
+* both reports must round-trip with headline stats intact (exit 2);
+* incremental repair must spend *less* maintenance energy than the
+  from-scratch rebuild of the very same schedule (exit 2 — this is the
+  paper-motivated point of the subsystem);
+* the headline stats must match ``benchmarks/golden/maintenance.json``
+  (exit code 1 on divergence — a semantic regression in the scheduler,
+  the recovery driver, or the kernels).
+
+Results land in ``benchmarks/out/BENCH_maintenance.json``.
+
+Usage::
+
+    python benchmarks/bench_maintenance.py --quick   # the make gate
+    python benchmarks/bench_maintenance.py           # bigger instance
+    python benchmarks/bench_maintenance.py --quick --write-golden
+
+Not a pytest file on purpose: ``make scenario-smoke`` calls it directly
+so the golden comparison's exit code gates CI.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
-from repro.algorithms.eopt import run_eopt
-from repro.algorithms.ghs import run_modified_ghs
-from repro.applications.maintenance import repair_after_failures
-from repro.experiments.report import format_table
-from repro.geometry.points import uniform_points
-from repro.mst.kruskal import kruskal_mst
-from repro.mst.quality import tree_cost
-from repro.rgg.build import build_rgg
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
 
-from conftest import write_artifact
+from repro.runspec import RunReport, RunSpec, execute  # noqa: E402
+from repro.scenario.mobility import mixed_plan  # noqa: E402
 
-N = 1000
-FAIL_FRACTIONS = (0.01, 0.05, 0.10, 0.25)
+GOLDEN_PATH = REPO / "benchmarks" / "golden" / "maintenance.json"
+OUT_PATH = REPO / "benchmarks" / "out" / "BENCH_maintenance.json"
+
+#: (mode, n, seed, cycles) — quick is the make-verify gate, full is the
+#: same schedule shape on a bigger instance for by-hand runs.
+CONFIGS = {
+    "quick": dict(n=60, seed=7, cycles=3),
+    "full": dict(n=300, seed=7, cycles=4),
+}
 
 
-def test_maintenance_report(benchmark):
-    pts = uniform_points(N, seed=0)
-    base = run_eopt(pts)
+def _fail(msg: str) -> None:
+    print(f"FATAL: {msg}", file=sys.stderr)
+    sys.exit(2)
 
-    def run_grid():
-        rng = np.random.default_rng(1)
-        out = []
-        for frac in FAIL_FRACTIONS:
-            failed = rng.choice(N, size=int(frac * N), replace=False)
-            rep = repair_after_failures(pts, base.tree_edges, failed)
-            rebuild = run_modified_ghs(pts[rep.extras["survivors"]])
-            out.append((frac, rep, rebuild))
-        return out
 
-    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
-    rows = []
-    for frac, rep, rebuild in results:
-        sub_pts = pts[rep.extras["survivors"]]
-        g = build_rgg(sub_pts, rep.extras["radius"])
-        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
-        quality = tree_cost(sub_pts, rep.tree_edges) / tree_cost(sub_pts, opt)
-        repair_ghs = rep.stats.energy_by_stage["repair:ghs"]
-        rebuild_ghs = rebuild.stats.energy_by_stage["phases"]
-        rows.append(
-            (
-                f"{frac:.0%}",
-                rep.extras["initial_fragments"],
-                rep.phases,
-                f"{repair_ghs:.2f}",
-                f"{rebuild_ghs:.2f}",
-                f"{rebuild_ghs / max(repair_ghs, 1e-12):.1f}x",
-                f"{quality:.4f}",
-            )
-        )
-    text = format_table(
-        ["failed", "fragments", "phases", "repair E", "rebuild E",
-         "saving", "quality vs opt"],
-        rows,
+def _headline(report: RunReport) -> dict:
+    res = report.result
+    ex = res.extras
+    return {
+        "energy_total": res.stats.energy_total,
+        "messages_total": int(res.stats.messages_total),
+        "rounds": int(res.stats.rounds),
+        "n_cycles": int(ex["n_cycles"]),
+        "n_alive": int(ex["n_alive"]),
+        "n_tree_edges": int(len(res.tree_edges)),
+        "build_energy": ex["build_energy"],
+        "repair_energy": ex["repair_energy"],
+        "rebuild_energy": ex["rebuild_energy"],
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small gate config")
+    ap.add_argument(
+        "--write-golden",
+        action="store_true",
+        help="(re)write the golden stats snapshot instead of checking it",
     )
-    write_artifact("MAINT", text)
+    args = ap.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+    cfg = CONFIGS[mode]
 
-    for frac, rep, rebuild in results:
-        repair_ghs = rep.stats.energy_by_stage["repair:ghs"]
-        rebuild_ghs = rebuild.stats.energy_by_stage["phases"]
-        assert repair_ghs < rebuild_ghs
-        sub_pts = pts[rep.extras["survivors"]]
-        g = build_rgg(sub_pts, rep.extras["radius"])
-        opt, _ = kruskal_mst(g.n, g.edges, g.lengths)
-        assert (
-            tree_cost(sub_pts, rep.tree_edges)
-            <= 1.05 * tree_cost(sub_pts, opt)
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    rows = {}
+    for kind in ("repair", "rebuild"):
+        plan = mixed_plan(
+            cfg["n"], seed=cfg["seed"], cycles=cfg["cycles"], checkpoint=kind
         )
+        spec = RunSpec(
+            algorithm="MAINT", n=cfg["n"], seed=cfg["seed"], scenario=plan
+        )
+        loaded = RunSpec.from_json(spec.to_json())
+        if loaded != spec:
+            _fail(f"{kind}: scenario spec JSON round trip changed the spec")
+
+        t0 = time.perf_counter()
+        report = execute(loaded)
+        wall = time.perf_counter() - t0
+
+        back = RunReport.from_json(report.to_json())
+        if _headline(back) != _headline(report) or back.spec != spec:
+            _fail(f"{kind}: report JSON round trip changed the stats")
+
+        key = f"{mode}:{kind}"
+        rows[key] = {**_headline(report), "wall_s": round(wall, 3)}
+        h = rows[key]
+        print(
+            f"{key:<14} energy={h['energy_total']:.2f} "
+            f"msgs={h['messages_total']} rounds={h['rounds']} "
+            f"maint_E={h[f'{kind}_energy']:.2f}"
+        )
+
+    # The point of the subsystem: on the same schedule, incremental
+    # repair must beat the from-scratch rebuild on maintenance energy.
+    rep = rows[f"{mode}:repair"]["repair_energy"]
+    reb = rows[f"{mode}:rebuild"]["rebuild_energy"]
+    if not rep < reb:
+        _fail(
+            f"incremental repair ({rep:.2f}) did not beat full rebuild "
+            f"({reb:.2f}) on maintenance energy"
+        )
+    print(f"repair/rebuild maintenance energy: {rep:.2f} / {reb:.2f} "
+          f"({reb / max(rep, 1e-12):.2f}x saving)")
+
+    golden = {
+        key: {k: v for k, v in rec.items() if k != "wall_s"}
+        for key, rec in rows.items()
+    }
+    failures = []
+    if args.write_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        merged = (
+            json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        )
+        merged.update(golden)
+        GOLDEN_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"golden written to {GOLDEN_PATH}")
+    elif GOLDEN_PATH.exists():
+        expected = json.loads(GOLDEN_PATH.read_text())
+        for key, stats in golden.items():
+            if key in expected and expected[key] != stats:
+                failures.append(
+                    f"golden divergence for {key}: got {stats}, "
+                    f"expected {expected[key]}"
+                )
+    else:
+        print(f"warning: no golden snapshot at {GOLDEN_PATH}; run --write-golden")
+
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {OUT_PATH}")
+
+    if failures:
+        for f in failures:
+            print("FATAL:", f, file=sys.stderr)
+        return 1
+    print(f"{len(rows)} scenario runs round-tripped and matched golden")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -522,6 +522,7 @@ class TurboPhaseEngine:
             perf.sample_rss()
         if trace.enabled:
             k._trace_round()
+        k._round_advanced()
 
     @property
     def _pending(self) -> bool:

@@ -21,6 +21,14 @@ the surviving forest edges* — which differs from the from-scratch MST
 only in the rare case where a failure un-blocks a cheaper edge elsewhere
 (the repair is a 1-competitive reconnection of the given forest; the
 quality gap is measured by the MAINT bench and is typically < 1%).
+
+:func:`run_maintenance` is the registry-registered ``MAINT`` workload on
+top of the same machinery: it hands an entire
+:class:`~repro.scenario.plan.ScenarioPlan` (crash/join/leave/move events
+punctuated by repair/rebuild checkpoints) to the
+:class:`~repro.scenario.scheduler.ScenarioScheduler` and returns one
+merged result with a repair-vs-rebuild energy ledger.  Dynamic runs are
+therefore ordinary specs: hashable, cacheable, servable.
 """
 
 from __future__ import annotations
@@ -31,8 +39,11 @@ from repro.algorithms.base import AlgorithmResult, collect_tree_edges
 from repro.algorithms.ghs.driver import hello_round, run_ghs_phases
 from repro.algorithms.ghs.node import GHSNode
 from repro.ds.unionfind import UnionFind
-from repro.errors import GraphError
+from repro.errors import ExperimentError, GraphError
 from repro.geometry.radius import PAPER_GHS_RADIUS_CONST, connectivity_radius
+from repro.runspec.registry import register_algorithm
+from repro.scenario.plan import ScenarioPlan
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import SynchronousKernel
 from repro.sim.power import PathLossModel
 
@@ -82,8 +93,10 @@ def repair_after_failures(
         Operating radius for the repair (default: the survivor count's
         connectivity radius) and energy model.
 
-    Returns an :class:`AlgorithmResult` over the *survivors* (node ids are
-    re-labelled densely; the mapping is in ``extras["survivors"]``).
+    Returns an :class:`AlgorithmResult` over the *survivors*.  Node ids
+    in the result are re-labelled densely; ``extras["survivor_ids"]`` is
+    the explicit mapping back (``survivor_ids[new_id] = original_id``),
+    with ``extras["survivors"]`` kept as its historical alias.
     """
     pts = np.asarray(points, dtype=float)
     n = len(pts)
@@ -131,7 +144,83 @@ def repair_after_failures(
         extras={
             "radius": r,
             "survivors": survivors,
+            "survivor_ids": survivors.copy(),
             "n_failed": n - m,
             "initial_fragments": len(leaders),
         },
     )
+
+
+def run_maintenance(
+    points: np.ndarray,
+    *,
+    scenario: ScenarioPlan | None = None,
+    radius_const: float = PAPER_GHS_RADIUS_CONST,
+    power: PathLossModel | None = None,
+    rx_cost: float = 0.0,
+    kernel_cls: type[SynchronousKernel] = SynchronousKernel,
+    planes: bool = True,
+    faults: FaultPlan | None = None,
+    recover: bool = True,
+) -> AlgorithmResult:
+    """Run the ``MAINT`` workload: build the MST, then live the scenario.
+
+    The scheduler builds the initial MST over ``points`` (one full MGHS
+    cycle), applies the plan's events between checkpoints, and runs one
+    incremental ``repair`` (or from-scratch ``rebuild``) cycle per
+    checkpoint.  A ``None``/empty scenario degenerates to the build
+    cycle alone.  See :mod:`repro.scenario` and ``docs/scenarios.md``.
+
+    ``faults`` may carry drop/dup noise (it composes with the schedule's
+    own transient-crash windows every cycle); fault-plan *crashes* and
+    per-link loss are rejected — node ids are re-compacted every cycle,
+    so those must be scheduled as scenario events instead.
+    """
+    from repro.scenario.scheduler import ScenarioScheduler
+
+    sched = ScenarioScheduler(
+        points,
+        radius_const=radius_const,
+        power=power,
+        rx_cost=rx_cost,
+        kernel_cls=kernel_cls,
+        planes=planes,
+        faults=faults,
+        recover=recover,
+    )
+    return sched.run_plan(scenario)
+
+
+# -- runspec registration -----------------------------------------------------
+
+def _maint_adapter(points, spec):
+    from repro.runspec.spec import kernel_class
+
+    if spec.faults is not None and (spec.faults.crashes or spec.faults.link_loss):
+        raise ExperimentError(
+            "MAINT composes with drop/dup fault noise only; schedule "
+            "crashes as scenario events (fault-plan crash windows and "
+            "link_loss name node ids that re-compact every cycle)"
+        )
+    return run_maintenance(
+        points,
+        scenario=spec.scenario,
+        radius_const=spec.ghs_radius_const,
+        rx_cost=spec.rx_cost,
+        kernel_cls=kernel_class(spec.kernel),
+        planes=spec.planes,
+        faults=spec.faults,
+        recover=spec.recover,
+    )
+
+
+register_algorithm(
+    "MAINT",
+    runner=run_maintenance,
+    adapter=_maint_adapter,
+    order=10,
+    summary="incremental MST maintenance under a scenario plan (churn/mobility)",
+    supports_faults=True,
+    supports_kernel_mode=True,
+    supports_scenario=True,
+)

@@ -76,6 +76,12 @@ def _build_run_spec(args):
             kernel=args.kernel,
             faults=_build_fault_plan(args),
         )
+    if getattr(args, "scenario", None):
+        from repro.scenario import ScenarioPlan
+
+        spec = spec.with_(
+            scenario=ScenarioPlan.from_json(Path(args.scenario).read_text())
+        )
     # The instrumentation flags compose with a loaded spec: --perf /
     # --trace on top of --spec FILE turn recording on for this run.
     if args.perf:
@@ -153,11 +159,45 @@ def _cmd_algorithms(args) -> int:
             e.name,
             "yes" if e.supports_faults else "no",
             "yes" if e.supports_kernel_mode else "no",
+            "yes" if e.supports_scenario else "no",
             e.summary,
         )
         for e in algorithm_entries()
     ]
-    print(format_table(["algorithm", "faults", "alt kernels", "summary"], rows))
+    print(
+        format_table(
+            ["algorithm", "faults", "alt kernels", "scenarios", "summary"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    """List the scenario presets, or emit one as a plan JSON file."""
+    import inspect
+    from pathlib import Path
+
+    from repro.scenario.mobility import PRESETS
+
+    if args.emit:
+        factory = PRESETS[args.preset]
+        plan = factory(args.n, seed=args.seed)
+        out = Path(args.emit)
+        out.write_text(plan.to_json(indent=1))
+        print(
+            f"{args.preset} plan for n={args.n} seed={args.seed}: "
+            f"{len(plan.events)} events -> {out}"
+        )
+        print(f"run it:  repro run MAINT -n {args.n} --scenario {out}")
+        return 0
+    rows = [
+        (name, (inspect.getdoc(factory) or "").splitlines()[0])
+        for name, factory in PRESETS.items()
+    ]
+    print(format_table(["preset", "summary"], rows))
+    print(
+        "\nemit one:  repro scenarios --emit PLAN.json --preset churn -n 40 --seed 0"
+    )
     return 0
 
 
@@ -230,7 +270,9 @@ def _cmd_fuzz(args) -> int:
     from repro.fuzz.machine import run_fuzz
 
     machines = (
-        ["ghs", "retry", "connt"] if args.machine == "all" else [args.machine]
+        ["ghs", "retry", "connt", "maint"]
+        if args.machine == "all"
+        else [args.machine]
     )
     for name in machines:
         out = run_fuzz(
@@ -454,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
         "are then ignored; --perf/--trace still compose)",
     )
     run.add_argument(
+        "--scenario",
+        metavar="FILE.json",
+        help="attach a scenario plan (timed churn/mobility events; MAINT "
+        "workload) from FILE; composes with --spec; see `repro scenarios`",
+    )
+    run.add_argument(
         "--emit-spec",
         metavar="FILE.json",
         help="write the assembled RunSpec JSON to FILE and exit "
@@ -517,6 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels", help="list the registered kernel backends"
     )
     kerns.set_defaults(func=_cmd_kernels)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="list scenario presets or emit one as a plan JSON file",
+    )
+    scen.add_argument(
+        "--emit",
+        metavar="FILE.json",
+        help="write the generated ScenarioPlan JSON here",
+    )
+    scen.add_argument(
+        "--preset",
+        choices=("churn", "mobility", "mixed"),
+        default="churn",
+        help="which generator to use (see `repro scenarios`)",
+    )
+    scen.add_argument("-n", type=int, default=40, help="initial instance size")
+    scen.add_argument("--seed", type=int, default=0, help="schedule seed")
+    scen.set_defaults(func=_cmd_scenarios)
 
     cache = sub.add_parser(
         "cache", help="inspect or maintain the persistent result store"
@@ -603,7 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fz.add_argument(
         "--machine",
-        choices=["ghs", "retry", "connt", "all"],
+        choices=["ghs", "retry", "connt", "maint", "all"],
         default="all",
         help="which state machine(s) to run",
     )

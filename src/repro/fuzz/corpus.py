@@ -51,7 +51,7 @@ def _validate(data: dict, *, source: str) -> None:
         raise ExperimentError(
             f"{source}: unsupported scenario schema {data.get('schema_version')!r}"
         )
-    if data.get("machine") not in ("ghs", "retry", "connt"):
+    if data.get("machine") not in ("ghs", "retry", "connt", "maint"):
         raise ExperimentError(f"{source}: unknown machine {data.get('machine')!r}")
     if not isinstance(data.get("params"), dict) or not isinstance(
         data.get("ops"), list
@@ -81,6 +81,13 @@ def _build_world(data: dict, *, configs=None, record_fates: bool = True):
         if configs is not None:
             kwargs["configs"] = configs
         return GHSFuzzWorld(**kwargs)
+    if data["machine"] == "maint":
+        from repro.fuzz.maint_world import ScenarioFuzzWorld
+
+        kwargs = dict(n=params["n"], seed=params.get("seed", 0))
+        if configs is not None:
+            kwargs["configs"] = configs
+        return ScenarioFuzzWorld(**kwargs)
     if data["machine"] == "connt":
         from repro.fuzz.connt_world import ConntRetryWorld
 
@@ -136,6 +143,14 @@ def replay_scenario(data: dict, *, configs=None, record_fates: bool = True):
             world.crash(args[0], args[1], expect_start=args[2] if len(args) > 2 else None)
         elif name == "crash_forever":
             world.crash_forever(args[0], expect_start=args[1] if len(args) > 1 else None)
+        elif name == "join":
+            world.join(args[0], args[1])
+        elif name == "leave":
+            world.leave(args[0])
+        elif name == "move":
+            world.move(args[0], args[1], args[2])
+        elif name == "checkpoint":
+            world.checkpoint(args[0], args[1] if len(args) > 1 else 0)
         elif name == "set_cap":
             world.set_cap(args[0])
         elif name == "drain":

@@ -1,6 +1,6 @@
 """Hypothesis state machines over the fuzz worlds, plus the entry point.
 
-Three machines:
+Four machines:
 
 * :class:`GHSFuzzMachine` — one :class:`~repro.fuzz.world.GHSFuzzWorld`
   per example: advance by partial rounds, open transient crash windows,
@@ -15,6 +15,12 @@ Three machines:
   ConntRetryWorld`: the same reliable layer embedded in real Co-NNT
   REPLY/CONNECTION traffic, phase steps interleaved with crash windows
   and retry bursts, finishing through the runner's stranded re-probe.
+* :class:`MaintFuzzMachine` — one :class:`~repro.fuzz.maint_world.
+  ScenarioFuzzWorld`: scenario-plane churn (crash/join/leave/move
+  events punctuated by repair/rebuild checkpoints) driven across every
+  backend; fault-free cycles run the turbo whole-round phase engine in
+  lockstep with the scalar paths, closing the harness's deliberate
+  scalar-only gap.
 
 When a sequence fails, hypothesis shrinks it to a minimal rule list;
 :func:`run_fuzz` then exports the shrunk world as a replayable scenario
@@ -42,6 +48,7 @@ from hypothesis.stateful import (
 
 from repro.fuzz import strategies as fst
 from repro.fuzz.connt_world import ConntRetryWorld
+from repro.fuzz.maint_world import ScenarioFuzzWorld
 from repro.fuzz.retry_world import RetryFuzzWorld
 from repro.fuzz.world import GHSFuzzWorld
 
@@ -49,6 +56,7 @@ __all__ = [
     "GHSFuzzMachine",
     "RetryFuzzMachine",
     "ConntFuzzMachine",
+    "MaintFuzzMachine",
     "FuzzOutcome",
     "make_machine",
     "fuzz_settings",
@@ -332,10 +340,105 @@ class ConntFuzzMachine(RuleBasedStateMachine):
             _LAST["world"] = w
 
 
+class MaintFuzzMachine(RuleBasedStateMachine):
+    SEED_OFFSET = 0
+    CONFIGS = None  # None -> every registered backend configuration
+
+    #: Scenario worlds build their initial MST up front, so instances
+    #: stay small; the interesting state space is the event schedule.
+    _instances = st.fixed_dictionaries(
+        {"n": st.integers(8, 18), "seed": st.integers(0, 99)}
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.world: ScenarioFuzzWorld | None = None
+
+    def _running(self) -> bool:
+        w = self.world
+        return w is not None and not w.finished and not w.failed
+
+    @initialize(params=_instances)
+    def init(self, params):
+        kwargs = dict(
+            n=params["n"],
+            seed=(params["seed"] + 10 * self.SEED_OFFSET) % 1000,
+        )
+        if self.CONFIGS is not None:
+            kwargs["configs"] = self.CONFIGS
+        self.world = ScenarioFuzzWorld(**kwargs)
+        _LAST["world"] = self.world
+
+    def _mutable(self) -> list[int]:
+        """Alive nodes, only while enough remain to stay interesting."""
+        w = self.world
+        alive = w.alive_nodes()
+        return alive if len(alive) > 5 else []
+
+    @precondition(lambda self: self._running() and self._mutable())
+    @rule(data=st.data(), duration=st.one_of(st.none(), st.integers(2, 10)))
+    def crash(self, data, duration):
+        node = data.draw(st.sampled_from(self._mutable()), label="crash_node")
+        self.world.crash(node, duration)
+
+    @precondition(lambda self: self._running() and self._mutable())
+    @rule(data=st.data())
+    def leave(self, data):
+        node = data.draw(st.sampled_from(self._mutable()), label="leave_node")
+        self.world.leave(node)
+
+    @precondition(
+        lambda self: self._running()
+        and len(self.world.ref.positions) < self.world.n + 8
+    )
+    @rule(x=st.floats(0.0, 1.0), y=st.floats(0.0, 1.0))
+    def join(self, x, y):
+        self.world.join(x, y)
+
+    @precondition(lambda self: self._running() and self.world.alive_nodes())
+    @rule(data=st.data(), x=st.floats(0.0, 1.0), y=st.floats(0.0, 1.0))
+    def move(self, data, x, y):
+        node = data.draw(
+            st.sampled_from(self.world.alive_nodes()), label="move_node"
+        )
+        self.world.move(node, x, y)
+
+    @precondition(_running)
+    @rule(
+        kind=st.sampled_from(["repair", "rebuild"]),
+        delay=st.integers(0, 3),
+    )
+    def checkpoint(self, kind, delay):
+        self.world.checkpoint(kind, delay)
+
+    # No precondition beyond "example is alive": hypothesis needs at
+    # least one enabled rule at every step, including after finish
+    # (world.finish is an idempotent no-op once finished).
+    @precondition(lambda self: self.world is not None and not self.world.failed)
+    @rule()
+    def finish(self):
+        self.world.finish()
+
+    @invariant()
+    def backends_aligned(self):
+        w = getattr(self, "world", None)
+        if w is not None and not w.finished and not w.failed:
+            w.check_alignment()
+
+    def teardown(self):
+        w = self.world
+        try:
+            if w is not None and not w.failed and not w.finished:
+                w.finish()
+        finally:
+            _LAST["world"] = w
+
+
 _MACHINES = {
     "ghs": GHSFuzzMachine,
     "retry": RetryFuzzMachine,
     "connt": ConntFuzzMachine,
+    "maint": MaintFuzzMachine,
 }
 
 
@@ -343,7 +446,7 @@ def make_machine(machine: str = "ghs", *, seed: int = 0, configs=None):
     """A machine subclass with the seed offset (and configs) baked in."""
     base = _MACHINES[machine]
     attrs: dict = {"SEED_OFFSET": int(seed)}
-    if configs is not None and machine == "ghs":
+    if configs is not None and machine in ("ghs", "maint"):
         attrs["CONFIGS"] = list(configs)
     return type(f"{base.__name__}_seed{seed}", (base,), attrs)
 

@@ -35,6 +35,8 @@ from repro.runspec.spec import (
     faultplan_to_dict,
     jsonable,
     kernel_class,
+    scenarioplan_from_dict,
+    scenarioplan_to_dict,
 )
 
 __all__ = [
@@ -56,5 +58,7 @@ __all__ = [
     "register_algorithm",
     "result_from_dict",
     "result_to_dict",
+    "scenarioplan_from_dict",
+    "scenarioplan_to_dict",
     "shutdown",
 ]

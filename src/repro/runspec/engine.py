@@ -99,6 +99,15 @@ def dispatch(entry: AlgorithmEntry, points, spec: RunSpec):
             f"{entry.name} has no fault-recovery layer; "
             "run it without --drop-rate/--crash"
         )
+    if (
+        spec.scenario is not None
+        and not spec.scenario.is_null
+        and not entry.supports_scenario
+    ):
+        raise ExperimentError(
+            f"{entry.name} does not interpret scenario plans; "
+            "run schedules through the MAINT workload"
+        )
     return entry.adapter(points, spec)
 
 

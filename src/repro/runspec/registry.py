@@ -53,6 +53,10 @@ class AlgorithmEntry:
     supports_kernel_mode:
         Whether the runner accepts ``kernel_cls`` (the ``"legacy"``
         reference kernel is rejected otherwise).
+    supports_scenario:
+        Whether the runner interprets a
+        :class:`~repro.scenario.plan.ScenarioPlan` (a non-null
+        ``spec.scenario`` is rejected otherwise).
     """
 
     name: str
@@ -62,6 +66,7 @@ class AlgorithmEntry:
     summary: str = ""
     supports_faults: bool = True
     supports_kernel_mode: bool = True
+    supports_scenario: bool = False
 
 
 #: Modules whose import registers the built-in algorithms.
@@ -70,6 +75,7 @@ _RUNNER_MODULES = (
     "repro.algorithms.eopt.runner",
     "repro.algorithms.connt.runner",
     "repro.algorithms.randnnt.protocol",
+    "repro.applications.maintenance",
 )
 
 _REGISTRY: dict[str, AlgorithmEntry] = {}
@@ -85,6 +91,7 @@ def register_algorithm(
     summary: str = "",
     supports_faults: bool = True,
     supports_kernel_mode: bool = True,
+    supports_scenario: bool = False,
 ) -> AlgorithmEntry:
     """Register one algorithm; called by runner modules at import time.
 
@@ -99,6 +106,7 @@ def register_algorithm(
         summary=summary,
         supports_faults=supports_faults,
         supports_kernel_mode=supports_kernel_mode,
+        supports_scenario=supports_scenario,
     )
     existing = _REGISTRY.get(name)
     if existing is not None and existing.runner is not runner:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.geometry.radius import PAPER_EOPT_STEP1_CONST, PAPER_GHS_RADIUS_CONST
+from repro.scenario.plan import ScenarioPlan, scenarioplan_from_dict, scenarioplan_to_dict
 from repro.sim.faults import FaultPlan
 
 __all__ = [
@@ -35,6 +36,8 @@ __all__ = [
     "kernel_class",
     "faultplan_to_dict",
     "faultplan_from_dict",
+    "scenarioplan_to_dict",
+    "scenarioplan_from_dict",
 ]
 
 #: Schema stamp written into every spec / report / sweep JSON payload.
@@ -211,6 +214,13 @@ class RunSpec:
         Enable the reliable-unicast recovery layer when faults are injected.
     faults:
         Optional seeded :class:`~repro.sim.faults.FaultPlan`.
+    scenario:
+        Optional :class:`~repro.scenario.plan.ScenarioPlan` — a timed
+        event schedule (churn/mobility/maintenance checkpoints) for
+        algorithms that support the scenario plane (currently
+        ``MAINT``).  Serialized inside the spec payload and therefore
+        part of ``spec_hash``/``result_key``; omitted entirely when
+        ``None`` so scenario-free specs keep their historical hashes.
     perf / trace:
         Instrumentation: when set, :func:`repro.runspec.engine.execute`
         records an isolated perf/trace snapshot into the returned
@@ -229,6 +239,7 @@ class RunSpec:
     planes: bool = True
     recover: bool = True
     faults: FaultPlan | None = field(default=None)
+    scenario: ScenarioPlan | None = field(default=None)
     perf: bool = False
     trace: bool = False
 
@@ -245,6 +256,11 @@ class RunSpec:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ExperimentError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioPlan):
+            raise ExperimentError(
+                "scenario must be a ScenarioPlan or None, got "
+                f"{type(self.scenario).__name__}"
             )
 
     # -- derived -------------------------------------------------------------
@@ -284,8 +300,14 @@ class RunSpec:
     # -- JSON round trip -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain JSON-serializable payload (inverse: :meth:`from_dict`)."""
-        return {
+        """Plain JSON-serializable payload (inverse: :meth:`from_dict`).
+
+        The ``scenario`` key is present only when a plan is attached:
+        scenario-free specs must keep the exact payload (and therefore
+        ``spec_hash``/``result_key``) they had before the scenario plane
+        existed, so stored reports and caches stay addressable.
+        """
+        data = {
             "schema_version": SCHEMA_VERSION,
             "kind": "run_spec",
             "algorithm": self.algorithm,
@@ -303,6 +325,9 @@ class RunSpec:
             "perf": self.perf,
             "trace": self.trace,
         }
+        if self.scenario is not None:
+            data["scenario"] = scenarioplan_to_dict(self.scenario)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -327,6 +352,7 @@ class RunSpec:
         if "algorithm" not in payload or "n" not in payload:
             raise ExperimentError("run_spec payload needs 'algorithm' and 'n'")
         payload["faults"] = faultplan_from_dict(payload.get("faults"))
+        payload["scenario"] = scenarioplan_from_dict(payload.get("scenario"))
         return cls(**payload)
 
     def to_json(self, *, indent: int | None = 1) -> str:

@@ -1,0 +1,43 @@
+"""The scenario plane: declarative timed event schedules over a run.
+
+A :class:`ScenarioPlan` is a frozen, JSON-round-trippable list of timed
+events — node crashes (permanent or transient), joins, graceful leaves,
+waypoint ``move`` steps over the unit square, and ``repair``/``rebuild``
+maintenance checkpoints.  It lives inside :class:`~repro.runspec.spec.
+RunSpec` exactly like a :class:`~repro.sim.faults.FaultPlan` does, hashes
+into ``spec_hash``/``result_key``, and is interpreted by the
+:class:`ScenarioScheduler`, which drives the registered ``MAINT``
+workload (:mod:`repro.applications.maintenance`): between maintenance
+cycles the world mutates, at each checkpoint the surviving spanning
+forest is reconnected incrementally (or rebuilt from scratch) by the GHS
+machinery, and a repair-vs-rebuild energy ledger lands in the
+:class:`~repro.runspec.report.RunReport`.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenario.plan import (
+    EVENT_KINDS,
+    ScenarioEvent,
+    ScenarioPlan,
+    scenarioplan_from_dict,
+    scenarioplan_to_dict,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "ScenarioEvent",
+    "ScenarioPlan",
+    "ScenarioScheduler",
+    "scenarioplan_from_dict",
+    "scenarioplan_to_dict",
+]
+
+
+def __getattr__(name: str):
+    # The scheduler drags in the whole sim/GHS stack; load it lazily so
+    # that `repro.runspec.spec` (which only needs the plan types) stays
+    # cheap to import.
+    if name == "ScenarioScheduler":
+        from repro.scenario.scheduler import ScenarioScheduler
+
+        return ScenarioScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,145 @@
+"""Deterministic scenario generators: churn and waypoint mobility.
+
+These build :class:`~repro.scenario.plan.ScenarioPlan` values from a
+seed, so a whole churn sweep is reproducible from ``(n, seed,
+scenario_seed)`` alone.  Positions for ``join``/``move`` events are
+drawn uniformly over the unit square — the classic random-waypoint
+model's destination draw — because plan generation happens *before* the
+instance exists (the plan must not depend on the instance points, or
+the spec hash would have to capture them).
+
+The generators only ever schedule events for node ids that are
+guaranteed alive at application time (initial ids minus prior
+casualties, plus prior joins), so any generated plan replays cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenario.plan import ScenarioEvent, ScenarioPlan
+
+__all__ = ["churn_plan", "waypoint_plan", "mixed_plan", "PRESETS"]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(int(seed) & ((1 << 63) - 1))
+
+
+def churn_plan(
+    n: int,
+    *,
+    seed: int = 0,
+    cycles: int = 3,
+    crashes_per_cycle: int = 2,
+    transient_rate: float = 0.5,
+    joins_per_cycle: int = 1,
+    gap: int = 40,
+    checkpoint: str = "repair",
+    min_alive: int = 4,
+) -> ScenarioPlan:
+    """Node churn: crashes (some transient) + joins, one checkpoint per cycle.
+
+    ``checkpoint`` selects ``repair`` (incremental) or ``rebuild``
+    (from scratch) — the bench runs the *same* schedule both ways to
+    measure the repair-vs-rebuild energy gap.
+    """
+    rng = _rng(seed)
+    alive = list(range(int(n)))
+    next_id = int(n)
+    events: list[ScenarioEvent] = []
+    rnd = 0
+    for _ in range(int(cycles)):
+        rnd += int(gap)
+        k = min(int(crashes_per_cycle), max(0, len(alive) - int(min_alive)))
+        victims = sorted(
+            int(alive[i]) for i in rng.choice(len(alive), size=k, replace=False)
+        )
+        for v in victims:
+            if rng.random() < transient_rate:
+                dur = int(rng.integers(3, 12))
+                events.append(ScenarioEvent(round=rnd, kind="crash", node=v, duration=dur))
+            else:
+                events.append(ScenarioEvent(round=rnd, kind="crash", node=v))
+                alive.remove(v)
+        for _ in range(int(joins_per_cycle)):
+            x, y = rng.random(2)
+            events.append(ScenarioEvent(round=rnd, kind="join", x=float(x), y=float(y)))
+            alive.append(next_id)
+            next_id += 1
+        events.append(ScenarioEvent(round=rnd, kind=checkpoint))
+    return ScenarioPlan(events=tuple(events))
+
+
+def waypoint_plan(
+    n: int,
+    *,
+    seed: int = 0,
+    cycles: int = 3,
+    movers_per_cycle: int = 3,
+    gap: int = 40,
+    checkpoint: str = "repair",
+) -> ScenarioPlan:
+    """Pure mobility: each cycle a few nodes jump to fresh waypoints."""
+    rng = _rng(seed)
+    n = int(n)
+    events: list[ScenarioEvent] = []
+    rnd = 0
+    for _ in range(int(cycles)):
+        rnd += int(gap)
+        k = min(int(movers_per_cycle), n)
+        movers = sorted(int(i) for i in rng.choice(n, size=k, replace=False))
+        for v in movers:
+            x, y = rng.random(2)
+            events.append(
+                ScenarioEvent(round=rnd, kind="move", node=v, x=float(x), y=float(y))
+            )
+        events.append(ScenarioEvent(round=rnd, kind=checkpoint))
+    return ScenarioPlan(events=tuple(events))
+
+
+def mixed_plan(
+    n: int,
+    *,
+    seed: int = 0,
+    cycles: int = 3,
+    gap: int = 40,
+    checkpoint: str = "repair",
+) -> ScenarioPlan:
+    """Crash + join + move churn — the acceptance-criteria workload."""
+    rng = _rng(seed)
+    alive = list(range(int(n)))
+    next_id = int(n)
+    events: list[ScenarioEvent] = []
+    rnd = 0
+    for _ in range(int(cycles)):
+        rnd += int(gap)
+        if len(alive) > 4:
+            v = int(alive[int(rng.integers(len(alive)))])
+            if rng.random() < 0.5:
+                events.append(
+                    ScenarioEvent(round=rnd, kind="crash", node=v,
+                                  duration=int(rng.integers(3, 10)))
+                )
+            else:
+                events.append(ScenarioEvent(round=rnd, kind="crash", node=v))
+                alive.remove(v)
+        x, y = rng.random(2)
+        events.append(ScenarioEvent(round=rnd, kind="join", x=float(x), y=float(y)))
+        alive.append(next_id)
+        next_id += 1
+        mover = int(alive[int(rng.integers(len(alive)))])
+        x, y = rng.random(2)
+        events.append(
+            ScenarioEvent(round=rnd, kind="move", node=mover, x=float(x), y=float(y))
+        )
+        events.append(ScenarioEvent(round=rnd, kind=checkpoint))
+    return ScenarioPlan(events=tuple(events))
+
+
+#: Named presets for ``repro scenarios --emit`` (name -> plan factory).
+PRESETS: dict[str, callable] = {
+    "churn": churn_plan,
+    "mobility": waypoint_plan,
+    "mixed": mixed_plan,
+}

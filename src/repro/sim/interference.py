@@ -139,6 +139,7 @@ class ContentionKernel(SynchronousKernel):
             self.rounds += 1
             if trace.enabled:
                 self._trace_round()
+            self._round_advanced()
         return len(deliveries)
 
     @staticmethod

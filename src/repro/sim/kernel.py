@@ -432,6 +432,9 @@ class SynchronousKernel:
         #: Ledger snapshot at the last traced round boundary (None until
         #: the first traced round); read only when ``trace.enabled``.
         self._trace_prev: dict | None = None
+        #: Round-boundary observer (scenario plane): called with the new
+        #: round count after every round advance, on every kernel path.
+        self._round_hook: Callable[[int], None] | None = None
         self._started = False
 
     # -- setup ----------------------------------------------------------------
@@ -909,6 +912,23 @@ class SynchronousKernel:
         for nid in node_ids:
             self.nodes[nid].on_wake(signal, payload)
 
+    def set_round_hook(self, hook: Callable[[int], None] | None) -> None:
+        """Install an observer called with ``self.rounds`` after every
+        round advance (``None`` detaches it).
+
+        This is the scenario plane's round-boundary anchor: every kernel
+        path — scalar step, flat legacy step, plane-only rounds, idle
+        ticks and the turbo whole-round engine — reports through the
+        same hook, so a global clock driven by it is backend-invariant.
+        The hook must not send messages or mutate kernel state.
+        """
+        self._round_hook = hook
+
+    def _round_advanced(self) -> None:
+        """Fire the round hook (round counter already incremented)."""
+        if self._round_hook is not None:
+            self._round_hook(self.rounds)
+
     def tick(self) -> None:
         """Advance the round clock by one round, even with nothing in flight.
 
@@ -922,6 +942,7 @@ class SynchronousKernel:
             self.rounds += 1
             if trace.enabled:
                 self._trace_round()
+            self._round_advanced()
 
     def step(self) -> int:
         """Deliver one round of messages; returns the number delivered.
@@ -956,6 +977,7 @@ class SynchronousKernel:
                 perf.sample_rss()
             if trace.enabled:
                 self._trace_round()
+            self._round_advanced()
             return delivered
         nodes = self.nodes
         rx = self.rx_cost
@@ -1049,6 +1071,7 @@ class SynchronousKernel:
             perf.sample_rss()
         if trace.enabled:
             self._trace_round()
+        self._round_advanced()
         return delivered
 
     def _apply_faults_list(self, deliveries: list) -> list:
@@ -1095,6 +1118,7 @@ class SynchronousKernel:
         self.rounds += 1
         if trace.enabled:
             self._trace_round()
+        self._round_advanced()
         return len(deliveries)
 
     def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:

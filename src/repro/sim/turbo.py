@@ -239,6 +239,7 @@ class TurboKernel(SynchronousKernel):
             perf.sample_rss()
         if trace.enabled:
             self._trace_round()
+        self._round_advanced()
         return delivered
 
     def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:

@@ -96,6 +96,23 @@ class TestRepair:
         rep = repair_after_failures(pts, res.tree_edges, failed)
         verify_spanning_tree(rep.n, rep.tree_edges, forest_ok=True)
 
+    def test_survivor_ids_mapping(self, built):
+        """``extras["survivor_ids"]`` is the explicit dense-to-original
+        mapping (``survivor_ids[new_id] = original_id``), pinned so the
+        re-indexing contract cannot silently regress again."""
+        pts, res = built
+        failed = np.array([3, 100, 299])
+        rep = repair_after_failures(pts, res.tree_edges, failed)
+        ids = rep.extras["survivor_ids"]
+        assert ids.shape == (297,)
+        # Dense, sorted original ids with exactly the failed ones missing.
+        expected = np.setdiff1d(np.arange(300), failed)
+        assert np.array_equal(ids, expected)
+        # Must stay in lockstep with the historical alias.
+        assert np.array_equal(ids, rep.extras["survivors"])
+        # Every repaired-tree endpoint maps back to an alive original id.
+        assert not np.isin(ids[rep.tree_edges], failed).any()
+
     def test_failed_leader_is_survivable(self, built):
         """Killing the old fragment leader (max id) must not matter — the
         repair elects fresh leaders."""

@@ -124,11 +124,18 @@ class TestRunSpecRoundTrip:
 
 class TestRegistry:
     def test_canonical_order(self):
-        assert algorithm_names() == ("GHS", "MGHS", "EOPT", "Co-NNT", "Rand-NNT")
+        assert algorithm_names() == (
+            "GHS", "MGHS", "EOPT", "Co-NNT", "Rand-NNT", "MAINT",
+        )
 
     def test_every_runner_registered_exactly_once(self):
+        from repro.applications.maintenance import run_maintenance
+
         runners = [e.runner for e in algorithm_entries()]
-        expected = {run_ghs, run_modified_ghs, run_eopt, run_connt, run_randnnt}
+        expected = {
+            run_ghs, run_modified_ghs, run_eopt, run_connt, run_randnnt,
+            run_maintenance,
+        }
         assert set(runners) == expected
         assert len(runners) == len(expected)
 
